@@ -1,0 +1,152 @@
+package bulktx
+
+import (
+	"time"
+
+	"bulktx/internal/analysis"
+	"bulktx/internal/energy"
+	"bulktx/internal/experiments"
+	"bulktx/internal/metrics"
+	"bulktx/internal/mote"
+	"bulktx/internal/netsim"
+	"bulktx/internal/units"
+)
+
+// Re-exported core types. The implementation lives under internal/; the
+// aliases below are the supported public surface.
+type (
+	// RadioProfile is one row of the paper's Table 1: a radio's rate,
+	// power draws, wake-up energy and range.
+	RadioProfile = energy.Profile
+
+	// BreakEvenModel evaluates the Section 2 energy equations for one
+	// low-power/high-power radio pair.
+	BreakEvenModel = analysis.Model
+
+	// ModelOption configures a BreakEvenModel.
+	ModelOption = analysis.Option
+
+	// SimConfig describes one network simulation run (Section 4.1).
+	SimConfig = netsim.Config
+
+	// SimResult carries a simulation run's metrics and counters.
+	SimResult = netsim.Result
+
+	// SimModel selects the evaluation model (sensor / 802.11 / dual).
+	SimModel = netsim.Model
+
+	// PrototypeConfig describes one mote prototype run (Section 4.2).
+	PrototypeConfig = mote.Config
+
+	// PrototypeResult carries a prototype run's outcomes.
+	PrototypeResult = mote.Result
+
+	// ResultTable is a printable reproduction of one paper artifact.
+	ResultTable = metrics.Table
+
+	// ExperimentScale trades fidelity for wall-clock time when
+	// regenerating the simulation figures.
+	ExperimentScale = experiments.Scale
+
+	// Energy is an amount of energy in joules.
+	Energy = units.Energy
+
+	// ByteSize is a quantity of data in bytes.
+	ByteSize = units.ByteSize
+
+	// BitRate is a data rate in bits per second.
+	BitRate = units.BitRate
+)
+
+// Common rate units.
+const (
+	Kbps = units.Kbps
+	Mbps = units.Mbps
+)
+
+// Evaluation models.
+const (
+	ModelSensor = netsim.ModelSensor
+	ModelWifi   = netsim.ModelWifi
+	ModelDual   = netsim.ModelDual
+)
+
+// Traffic is the sender arrival process.
+type Traffic = netsim.Traffic
+
+// Traffic models: the paper's CBR plus Poisson and on/off burst sources.
+const (
+	TrafficCBR     = netsim.TrafficCBR
+	TrafficPoisson = netsim.TrafficPoisson
+	TrafficOnOff   = netsim.TrafficOnOff
+)
+
+// Table1 returns the paper's Table 1 radio profiles.
+func Table1() []RadioProfile { return energy.Table1() }
+
+// RadioByName retrieves a Table 1 profile ("Micaz", "Lucent (11Mbps)",
+// "Cabletron", ...).
+func RadioByName(name string) (RadioProfile, error) {
+	return energy.ProfileByName(name)
+}
+
+// NewBreakEvenModel builds a Section 2 analysis model over a low-power
+// and a high-power radio profile.
+func NewBreakEvenModel(low, high RadioProfile, opts ...ModelOption) (*BreakEvenModel, error) {
+	return analysis.NewModel(low, high, opts...)
+}
+
+// WithIdleTime charges the high-power radios for idling this long per
+// transfer (Figure 2 sweeps it).
+func WithIdleTime(d time.Duration) ModelOption { return analysis.WithIdleTime(d) }
+
+// WithOverhearing charges fixed per-transfer overhearing energies.
+func WithOverhearing(low, high Energy) ModelOption {
+	return analysis.WithOverhearing(low, high)
+}
+
+// NewSimConfig returns the paper's single-hop scenario (Lucent 11 Mbps,
+// 36-node grid) for a model, sender count, burst size and seed.
+func NewSimConfig(model SimModel, senders, burstPackets int, seed int64) SimConfig {
+	return netsim.DefaultConfig(model, senders, burstPackets, seed)
+}
+
+// NewMultiHopSimConfig returns the paper's multi-hop scenario (Cabletron
+// reaching the sink in one hop).
+func NewMultiHopSimConfig(senders, burstPackets int, seed int64) SimConfig {
+	return netsim.MultiHopConfig(senders, burstPackets, seed)
+}
+
+// RunSimulation executes one network simulation run.
+func RunSimulation(cfg SimConfig) (SimResult, error) { return netsim.Run(cfg) }
+
+// RunSimulations executes n seeded repetitions.
+func RunSimulations(cfg SimConfig, runs int, baseSeed int64) ([]SimResult, error) {
+	return netsim.RunMany(cfg, runs, baseSeed)
+}
+
+// NewPrototypeConfig returns the paper's Section 4.2 prototype setup for
+// an alpha-s* threshold in bytes.
+func NewPrototypeConfig(threshold ByteSize) PrototypeConfig {
+	return mote.DefaultConfig(threshold)
+}
+
+// RunPrototype executes one mote prototype run.
+func RunPrototype(cfg PrototypeConfig) (PrototypeResult, error) { return mote.Run(cfg) }
+
+// Experiments lists the regenerable paper artifacts and ablations.
+func Experiments() []string { return experiments.Names() }
+
+// RunExperiment regenerates one paper artifact by name ("table1",
+// "fig1" ... "fig12", "ablation-*").
+func RunExperiment(name string, scale ExperimentScale) (ResultTable, error) {
+	return experiments.Run(name, scale)
+}
+
+// QuickScale regenerates the simulation figures in seconds of wall-clock
+// while preserving every qualitative shape.
+func QuickScale() ExperimentScale { return experiments.QuickScale() }
+
+// FullScale regenerates the simulation figures at the paper's exact
+// scenario (5000 s simulated, 20 runs per point).
+func FullScale() ExperimentScale { return experiments.FullScale() }

@@ -1,0 +1,103 @@
+// Command bcp-analysis evaluates the paper's Section 2 break-even
+// analysis from the command line: the break-even size s* for any radio
+// pair, and the analytic artifacts Table 1 and Figures 1-4.
+//
+// Usage:
+//
+//	bcp-analysis                          # break-even report, all pairs
+//	bcp-analysis -low Micaz -high "Lucent (11Mbps)" -idle 100ms
+//	bcp-analysis -artifact fig2           # print one analytic artifact
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bulktx"
+	"bulktx/internal/analysis"
+	"bulktx/internal/energy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bcp-analysis:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		low      = flag.String("low", "", "low-power radio name (empty: all)")
+		high     = flag.String("high", "", "high-power radio name (empty: all)")
+		idle     = flag.Duration("idle", 0, "high-power idle time per transfer")
+		fp       = flag.Int("fp", 1, "forward progress in sensor hops")
+		artifact = flag.String("artifact", "", "print one analytic artifact: table1|fig1|fig2|fig3|fig4")
+	)
+	flag.Parse()
+
+	if *artifact != "" {
+		tbl, err := bulktx.RunExperiment(*artifact, bulktx.QuickScale())
+		if err != nil {
+			return err
+		}
+		fmt.Print(tbl.Render())
+		return nil
+	}
+
+	lows, err := profiles(*low, energy.LowPowerProfiles())
+	if err != nil {
+		return err
+	}
+	highs, err := profiles(*high, energy.HighPowerProfiles())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-18s %-10s %12s %14s %14s\n",
+		"high-power", "low-power", "feasible", "s* (bytes)", "savings@10KB")
+	for _, h := range highs {
+		for _, l := range lows {
+			if err := report(l, h, *idle, *fp); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func profiles(name string, all []energy.Profile) ([]energy.Profile, error) {
+	if name == "" {
+		return all, nil
+	}
+	p, err := energy.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []energy.Profile{p}, nil
+}
+
+func report(low, high energy.Profile, idle time.Duration, fp int) error {
+	m, err := bulktx.NewBreakEvenModel(low, high, bulktx.WithIdleTime(idle))
+	if err != nil {
+		return err
+	}
+	se, err := m.BreakEvenMH(fp)
+	feasible := "yes"
+	sStar := "-"
+	savings := "-"
+	switch {
+	case errors.Is(err, analysis.ErrInfeasible):
+		feasible = "no"
+	case err != nil:
+		return err
+	default:
+		sStar = fmt.Sprintf("%d", se.Bytes())
+		savings = fmt.Sprintf("%.1f%%", m.SavingsMH(10*1024, fp)*100)
+	}
+	fmt.Printf("%-18s %-10s %12s %14s %14s\n",
+		high.Name, low.Name, feasible, sStar, savings)
+	return nil
+}

@@ -1,0 +1,70 @@
+// Command bcp-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bcp-experiments -list
+//	bcp-experiments -run fig6                 # quick scale (seconds)
+//	bcp-experiments -run fig6 -scale full     # the paper's full scenario
+//	bcp-experiments -run all -scale quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bulktx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bcp-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		name  = flag.String("run", "", "experiment to run (or 'all')")
+		scale = flag.String("scale", "quick", "simulation scale: quick|full")
+	)
+	flag.Parse()
+
+	if *list || *name == "" {
+		fmt.Println("available experiments:")
+		for _, n := range bulktx.Experiments() {
+			fmt.Println("  ", n)
+		}
+		if *name == "" && !*list {
+			return fmt.Errorf("pass -run <name> (or -run all)")
+		}
+		return nil
+	}
+
+	var sc bulktx.ExperimentScale
+	switch *scale {
+	case "quick":
+		sc = bulktx.QuickScale()
+	case "full":
+		sc = bulktx.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+	}
+
+	names := []string{*name}
+	if *name == "all" {
+		names = bulktx.Experiments()
+	}
+	for _, n := range names {
+		start := time.Now()
+		tbl, err := bulktx.RunExperiment(n, sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+		fmt.Print(tbl.Render())
+		fmt.Printf("# regenerated %s in %v\n\n", n, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Command bcp-mote runs the paper's Section 4.2 prototype emulation: a
+// single dual-radio sender streaming messages to a single receiver, with
+// the IEEE 802.11 radio emulated and all radio events logged.
+//
+// Usage:
+//
+//	bcp-mote -threshold 2000            # one run
+//	bcp-mote -sweep                     # Figures 11-12 threshold sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bulktx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bcp-mote:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		threshold = flag.Int("threshold", 2000, "alpha-s* threshold in bytes")
+		messages  = flag.Int("messages", 500, "messages per run")
+		interval  = flag.Duration("interval", 100*time.Millisecond, "generation interval")
+		sweep     = flag.Bool("sweep", false, "sweep thresholds 500-5000 B (Figures 11-12)")
+		tracePath = flag.String("trace", "", "write the radio event log as JSON lines to this file")
+	)
+	flag.Parse()
+
+	if *sweep {
+		for _, name := range []string{"fig11", "fig12"} {
+			tbl, err := bulktx.RunExperiment(name, bulktx.QuickScale())
+			if err != nil {
+				return err
+			}
+			fmt.Print(tbl.Render())
+			fmt.Println()
+		}
+		return nil
+	}
+
+	cfg := bulktx.NewPrototypeConfig(bulktx.ByteSize(*threshold))
+	cfg.Messages = *messages
+	cfg.Interval = *interval
+	res, err := bulktx.RunPrototype(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("threshold=%d B messages=%d interval=%v\n", *threshold, *messages, *interval)
+	fmt.Printf("  delivered              %d\n", res.Delivered)
+	fmt.Printf("  dual energy/packet     %.1f uJ\n", res.DualEnergyPerPacket.Microjoules())
+	fmt.Printf("  sensor energy/packet   %.1f uJ\n", res.SensorEnergyPerPacket.Microjoules())
+	fmt.Printf("  mean delay/packet      %v\n", res.MeanDelayPerPacket.Round(time.Millisecond))
+	fmt.Printf("  logged events          %d\n", len(res.Log))
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Log.WriteTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("  trace written          %s\n", *tracePath)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+// Command bcp-sim runs one network simulation of the paper's Section 4.1
+// evaluation and reports goodput, normalized energy and delay.
+//
+// Usage:
+//
+//	bcp-sim -model dual -case sh -senders 15 -burst 500
+//	bcp-sim -model sensor -case mh -senders 35 -duration 5000s -runs 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bulktx"
+	"bulktx/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bcp-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		model    = flag.String("model", "dual", "evaluation model: sensor|wifi|dual")
+		scenario = flag.String("case", "sh", "radio case: sh (Lucent 11 Mbps) | mh (Cabletron one hop)")
+		senders  = flag.Int("senders", 15, "number of CBR senders (1-35)")
+		burst    = flag.Int("burst", 500, "alpha-s* threshold in sensor packets")
+		rate     = flag.Float64("rate", 0, "per-sender rate in Kbps (0: case default)")
+		duration = flag.Duration("duration", 600*time.Second, "simulated duration")
+		runs     = flag.Int("runs", 3, "seeded repetitions")
+		seed     = flag.Int64("seed", 1, "base seed")
+		loss     = flag.Float64("loss", 0, "sensor-channel loss probability")
+		shortcut = flag.Bool("shortcut", false, "use shortcut-learning wifi routes (dual model)")
+		traffic  = flag.String("traffic", "cbr", "arrival process: cbr|poisson|onoff")
+		bound    = flag.Duration("bound", 0, "delay bound (0: off); overdue data uses the sensor radio")
+		adaptive = flag.Float64("adaptive", 0, "adaptive threshold alpha (0: static threshold)")
+	)
+	flag.Parse()
+
+	var cfg bulktx.SimConfig
+	switch *scenario {
+	case "sh":
+		cfg = bulktx.NewSimConfig(bulktx.ModelDual, *senders, *burst, *seed)
+	case "mh":
+		cfg = bulktx.NewMultiHopSimConfig(*senders, *burst, *seed)
+	default:
+		return fmt.Errorf("unknown case %q (want sh or mh)", *scenario)
+	}
+	switch *model {
+	case "sensor":
+		cfg.Model = bulktx.ModelSensor
+	case "wifi":
+		cfg.Model = bulktx.ModelWifi
+	case "dual":
+		cfg.Model = bulktx.ModelDual
+	default:
+		return fmt.Errorf("unknown model %q (want sensor, wifi or dual)", *model)
+	}
+	cfg.Duration = *duration
+	cfg.SensorLoss = *loss
+	cfg.UseShortcutLearner = *shortcut
+	cfg.DelayBound = *bound
+	cfg.AdaptiveThresholdAlpha = *adaptive
+	switch *traffic {
+	case "cbr":
+		cfg.Traffic = bulktx.TrafficCBR
+	case "poisson":
+		cfg.Traffic = bulktx.TrafficPoisson
+	case "onoff":
+		cfg.Traffic = bulktx.TrafficOnOff
+	default:
+		return fmt.Errorf("unknown traffic %q (want cbr, poisson or onoff)", *traffic)
+	}
+	if *rate > 0 {
+		cfg.Rate = bulktx.BitRate(*rate) * bulktx.Kbps
+	}
+
+	results, err := bulktx.RunSimulations(cfg, *runs, *seed)
+	if err != nil {
+		return err
+	}
+	goodput, normE, idealE, delay := netsim.Summaries(results)
+	last := results[len(results)-1]
+
+	fmt.Printf("model=%s case=%s senders=%d burst=%d rate=%v duration=%v runs=%d\n",
+		cfg.Model, *scenario, *senders, *burst, cfg.Rate, *duration, *runs)
+	fmt.Printf("  goodput            %s\n", goodput)
+	fmt.Printf("  energy (J/Kbit)    %s\n", normE)
+	if cfg.Model == bulktx.ModelSensor {
+		fmt.Printf("  ideal   (J/Kbit)   %s\n", idealE)
+	}
+	fmt.Printf("  mean delay         %v\n", delay.Round(time.Millisecond))
+	fmt.Printf("  events/run (last)  %d\n", last.Events)
+	if cfg.Model == bulktx.ModelDual {
+		a := last.AgentStats
+		fmt.Printf("  handshakes=%d bursts=%d frames=%d lost=%d denied=%d reduced=%d timeouts=%d\n",
+			a.Handshakes, a.BurstsSent, a.FramesSent, a.FramesLost,
+			a.GrantsDenied, a.GrantsReduced, a.ReceiverTimeouts)
+	}
+	return nil
+}

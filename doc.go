@@ -1,0 +1,28 @@
+// Package bulktx is a faithful, full-system reproduction of
+//
+//	"Improving Energy Conservation Using Bulk Transmission over
+//	 High-Power Radios in Sensor Networks",
+//	C. Sengul, M. Bakht, A. Harris III, T. Abdelzaher, R. Kravets,
+//	ICDCS 2008.
+//
+// The paper shows that adding a high-power, high-rate IEEE 802.11 radio
+// to a low-power sensor platform saves energy once enough data is
+// accumulated and shipped in bulk, and contributes the Bulk
+// Communication Protocol (BCP) that manages the buffering, the wake-up
+// handshake over the low-power radio, and the burst transfer over the
+// high-power radio.
+//
+// This package is the public facade over the full implementation:
+//
+//   - the break-even analysis of Section 2 (energy models, s*, burst
+//     savings) — see BreakEvenModel;
+//   - the BCP protocol of Section 3 with its dual-radio simulation stack
+//     (discrete-event engine, PHY channels, CSMA and DCF MACs, routing,
+//     energy metering) — see RunSimulation;
+//   - the prototype emulation of Section 4.2 — see RunPrototype;
+//   - runners that regenerate every table and figure of the paper — see
+//     RunExperiment.
+//
+// The executables under cmd/ and the runnable scenarios under examples/
+// are thin clients of this API.
+package bulktx

@@ -1,0 +1,66 @@
+// Delaybound: the paper's closing question, answered with data.
+//
+// Section 5 asks: "is it best to send immediately with the low-power
+// radio or to buffer as much as allowed by the delay constraints and
+// send with the high-power radio?" — and leaves it as future work. This
+// example runs the delay-constrained extension across bounds and shows
+// the measured trade-off: tight bounds are honored by rerouting overdue
+// packets over the sensor radio, at a quantified energy premium.
+//
+// Run with: go run ./examples/delaybound
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"bulktx"
+	"bulktx/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "delaybound:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		senders = 5
+		burst   = 1000 // accumulates for ~2 min at 2 Kbps: a slow drip
+		runs    = 3
+	)
+	fmt.Printf("Delay-constrained BCP: %d senders, burst threshold %d packets\n\n", senders, burst)
+	fmt.Printf("%-16s %12s %18s %16s %14s\n",
+		"delay bound", "goodput", "energy (J/Kbit)", "mean delay", "sensor sends")
+
+	for _, bound := range []time.Duration{0, 60 * time.Second, 15 * time.Second, 5 * time.Second} {
+		cfg := bulktx.NewSimConfig(bulktx.ModelDual, senders, burst, 1)
+		cfg.Duration = 600 * time.Second
+		cfg.Rate = 2 * bulktx.Kbps
+		cfg.DelayBound = bound
+		results, err := bulktx.RunSimulations(cfg, runs, 1)
+		if err != nil {
+			return err
+		}
+		goodput, energyPerKbit, _, delay := netsim.Summaries(results)
+		var sensorSends uint64
+		for _, r := range results {
+			sensorSends += r.AgentStats.SensorSends
+		}
+		label := "none (pure BCP)"
+		if bound > 0 {
+			label = bound.String()
+		}
+		fmt.Printf("%-16s %12.3f %18.5f %16v %14d\n",
+			label, goodput.Mean, energyPerKbit.Mean,
+			delay.Round(100*time.Millisecond), sensorSends/uint64(runs))
+	}
+
+	fmt.Println("\nThe bound is honored by pulling overdue packets onto the always-on" +
+		"\nsensor radio; the energy column is the measured price of the guarantee." +
+		"\nWith ample traffic the threshold fires first and the bound costs nothing.")
+	return nil
+}

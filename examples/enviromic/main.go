@@ -1,0 +1,73 @@
+// Enviromic: the paper's fast-accumulation application class, named
+// after the EnviroMic acoustic sensor network it cites: "Recent
+// applications, such as EnviroMic, where audio is being transmitted
+// through the network, accumulate data much faster making performance
+// almost real-time despite data buffering."
+//
+// Each node streams compressed audio (8 Kbps) toward the sink over BCP.
+// The example shows that at audio rates the alpha-s* buffer fills in
+// seconds, so bulk transfer keeps both near-real-time delay and a large
+// energy advantage.
+//
+// Run with: go run ./examples/enviromic
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"bulktx"
+	"bulktx/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "enviromic:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		senders   = 8
+		audioRate = 8 * bulktx.Kbps
+		runs      = 3
+	)
+	duration := 10 * time.Minute
+
+	fmt.Printf("Acoustic monitoring: %d microphones at %v each, %v recording\n\n",
+		senders, audioRate, duration)
+	fmt.Printf("%-18s %12s %18s %14s\n", "burst (packets)", "goodput", "energy (J/Kbit)", "mean delay")
+
+	for _, burst := range []int{100, 500, 1000} {
+		cfg := bulktx.NewSimConfig(bulktx.ModelDual, senders, burst, 1)
+		cfg.Duration = duration
+		cfg.Rate = audioRate
+		results, err := bulktx.RunSimulations(cfg, runs, 1)
+		if err != nil {
+			return err
+		}
+		goodput, energyPerKbit, _, delay := netsim.Summaries(results)
+		accumulation := time.Duration(float64(burst*32*8) / audioRate.BitsPerSecond() *
+			float64(time.Second))
+		fmt.Printf("%-18d %12.3f %18.5f %14v   (buffer fills in %v)\n",
+			burst, goodput.Mean, energyPerKbit.Mean,
+			delay.Round(100*time.Millisecond), accumulation.Round(100*time.Millisecond))
+	}
+
+	sensorCfg := bulktx.NewSimConfig(bulktx.ModelSensor, senders, 1, 1)
+	sensorCfg.Duration = duration
+	sensorCfg.Rate = audioRate
+	sensorRes, err := bulktx.RunSimulations(sensorCfg, runs, 1)
+	if err != nil {
+		return err
+	}
+	sGoodput, sEnergy, _, sDelay := netsim.Summaries(sensorRes)
+	fmt.Printf("%-18s %12.3f %18.5f %14v\n",
+		"sensor baseline", sGoodput.Mean, sEnergy.Mean, sDelay.Round(100*time.Millisecond))
+
+	fmt.Println("\nAt audio rates the buffer crosses alpha-s* in seconds: BCP stays " +
+		"near-real-time while shipping bits for a fraction of the sensor radio's energy.")
+	return nil
+}

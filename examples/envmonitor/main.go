@@ -1,0 +1,76 @@
+// Envmonitor: the paper's motivating application class — long-lived
+// environmental monitoring, where "a collection delay of even several
+// days is not detrimental, especially if it increases system lifetime".
+//
+// A 36-node grid samples slowly (0.2 Kbps per node) toward a central
+// sink. The example compares the pure sensor network against BCP with a
+// large burst threshold and reports the lifetime-relevant outcome: how
+// much energy each delivered kilobit costs, and what collection delay
+// buys the savings.
+//
+// Run with: go run ./examples/envmonitor
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"bulktx"
+	"bulktx/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "envmonitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		senders = 20
+		burst   = 500 // 16 KB accumulated before each 802.11 burst
+		runs    = 3
+	)
+	duration := 2 * time.Hour // one (simulated) afternoon of monitoring
+
+	fmt.Printf("Environmental monitoring: %d sensors, %v each, %v of sampling\n\n",
+		senders, bulktx.BitRate(200), duration)
+
+	sensorCfg := bulktx.NewSimConfig(bulktx.ModelSensor, senders, 1, 1)
+	sensorCfg.Duration = duration
+	sensorRes, err := bulktx.RunSimulations(sensorCfg, runs, 1)
+	if err != nil {
+		return err
+	}
+	sGoodput, sEnergy, sIdeal, sDelay := netsim.Summaries(sensorRes)
+
+	dualCfg := bulktx.NewSimConfig(bulktx.ModelDual, senders, burst, 1)
+	dualCfg.Duration = duration
+	dualRes, err := bulktx.RunSimulations(dualCfg, runs, 1)
+	if err != nil {
+		return err
+	}
+	dGoodput, dEnergy, _, dDelay := netsim.Summaries(dualRes)
+
+	fmt.Printf("%-22s %12s %18s %14s\n", "model", "goodput", "energy (J/Kbit)", "mean delay")
+	fmt.Printf("%-22s %12.3f %18.5f %14v\n",
+		"sensor (header cost)", sGoodput.Mean, sEnergy.Mean, sDelay.Round(time.Millisecond))
+	fmt.Printf("%-22s %12.3f %18.5f %14v\n",
+		"sensor (ideal)", sGoodput.Mean, sIdeal.Mean, sDelay.Round(time.Millisecond))
+	fmt.Printf("%-22s %12.3f %18.5f %14v\n",
+		fmt.Sprintf("BCP dual (burst %d)", burst), dGoodput.Mean, dEnergy.Mean,
+		dDelay.Round(time.Second))
+
+	if dEnergy.Mean < sIdeal.Mean {
+		fmt.Printf("\nBCP delivers each kilobit %.1fx cheaper than even the idealized "+
+			"sensor network,\nat the cost of %v of collection delay — irrelevant for "+
+			"phenomena measured over weeks.\n",
+			sIdeal.Mean/dEnergy.Mean, dDelay.Round(time.Second))
+	} else {
+		fmt.Printf("\nBCP cost %.5f J/Kbit vs idealized sensor %.5f J/Kbit.\n",
+			dEnergy.Mean, sIdeal.Mean)
+	}
+	return nil
+}

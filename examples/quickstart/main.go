@@ -1,0 +1,66 @@
+// Quickstart: the paper's core result in thirty lines.
+//
+// It asks the break-even analysis when a Lucent 11 Mbps radio starts
+// beating a Micaz sensor radio, then runs the dual-radio prototype at a
+// threshold above the break-even point and shows the measured energy
+// savings per packet.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bulktx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	micaz, err := bulktx.RadioByName("Micaz")
+	if err != nil {
+		return err
+	}
+	lucent, err := bulktx.RadioByName("Lucent (11Mbps)")
+	if err != nil {
+		return err
+	}
+
+	// Section 2: where is the break-even point?
+	model, err := bulktx.NewBreakEvenModel(micaz, lucent)
+	if err != nil {
+		return err
+	}
+	sStar, err := model.BreakEven()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Break-even size s* (%s over %s): %v\n", lucent.Name, micaz.Name, sStar)
+	fmt.Printf("Analytic savings at 4 KB: %.0f%%\n\n", model.Savings(4*1024)*100)
+
+	// Section 4.2: measure it through the full protocol stack.
+	for _, threshold := range []bulktx.ByteSize{512, 4096} {
+		cfg := bulktx.NewPrototypeConfig(threshold)
+		res, err := bulktx.RunPrototype(cfg)
+		if err != nil {
+			return err
+		}
+		verdict := "wastes energy (below s*)"
+		if res.DualEnergyPerPacket < res.SensorEnergyPerPacket {
+			verdict = "saves energy"
+		}
+		fmt.Printf("Buffering %4d B before waking the 802.11 radio: "+
+			"%6.1f uJ/packet vs %5.1f uJ/packet on the sensor radio -> %s\n",
+			threshold,
+			res.DualEnergyPerPacket.Microjoules(),
+			res.SensorEnergyPerPacket.Microjoules(),
+			verdict)
+	}
+	return nil
+}

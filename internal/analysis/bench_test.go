@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"testing"
+
+	"bulktx/internal/energy"
+	"bulktx/internal/units"
+)
+
+// BenchmarkEnergyModels measures one evaluation of both Section 2 cost
+// curves.
+func BenchmarkEnergyModels(b *testing.B) {
+	m, err := NewModel(energy.Micaz(), energy.Lucent11())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	var sink units.Energy
+	for i := 0; i < b.N; i++ {
+		s := units.ByteSize(i%10000 + 1)
+		sink += m.SensorEnergy(s) + m.WifiEnergy(s)
+	}
+	_ = sink
+}
+
+// BenchmarkBreakEvenMH measures the multi-hop break-even search.
+func BenchmarkBreakEvenMH(b *testing.B) {
+	m, err := NewModel(energy.Mica(), energy.Cabletron())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.BreakEvenMH(i%6 + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

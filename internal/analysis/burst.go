@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"fmt"
+
+	"bulktx/internal/units"
+)
+
+// Burst-size analysis (paper Section 2.2, Figure 4): the fraction of
+// energy saved by accumulating n high-power packets and sending them in
+// one burst (one wake-up) instead of waking the radio n times to send one
+// packet each time.
+
+// BurstEnergy returns the energy of one wake-up carrying n high-power
+// packets.
+func (m *Model) BurstEnergy(n int) units.Energy {
+	if n <= 0 {
+		return 0
+	}
+	return m.WifiEnergy(units.ByteSize(n) * m.link.PayloadH)
+}
+
+// PerPacketEnergy returns the energy of waking up n separate times and
+// sending a single high-power packet each time.
+func (m *Model) PerPacketEnergy(n int) units.Energy {
+	if n <= 0 {
+		return 0
+	}
+	return units.Energy(float64(n)) * m.WifiEnergy(m.link.PayloadH)
+}
+
+// BurstSavings returns 1 - BurstEnergy(n)/PerPacketEnergy(n), the Figure 4
+// metric. It returns an error for non-positive n.
+func (m *Model) BurstSavings(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("analysis: burst size %d must be positive", n)
+	}
+	per := m.PerPacketEnergy(n).Joules()
+	if per == 0 {
+		return 0, nil
+	}
+	return 1 - m.BurstEnergy(n).Joules()/per, nil
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bulktx/internal/energy"
+	"bulktx/internal/params"
+	"bulktx/internal/units"
+)
+
+func TestBurstSavingsPaperShape(t *testing.T) {
+	// Figure 4: savings rise quickly up to ~10 packets, then continue at
+	// a much slower rate; "the majority of savings are obtained when
+	// n = 10".
+	for _, high := range energy.HighPowerProfiles() {
+		m := mustModel(t, energy.Micaz(), high)
+		s10, err := m.BurstSavings(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1000, err := m.BurstSavings(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1000 <= 0 {
+			t.Errorf("%s: BurstSavings(1000) = %.3f, want positive", high.Name, s1000)
+			continue
+		}
+		if frac := s10 / s1000; frac < 0.75 {
+			t.Errorf("%s: savings at n=10 are %.0f%% of n=1000, want majority",
+				high.Name, frac*100)
+		}
+	}
+}
+
+func TestBurstSavingsIdleVariantSavesMore(t *testing.T) {
+	// Figure 4: "The energy savings are greater when nodes idle 100 ms
+	// before turning off."
+	for _, high := range energy.HighPowerProfiles() {
+		base := mustModel(t, energy.Micaz(), high)
+		idle := mustModel(t, energy.Micaz(), high, WithIdleTime(params.PostBurstIdle))
+		for _, n := range []int{2, 10, 100, 1000} {
+			sBase, err := base.BurstSavings(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sIdle, err := idle.BurstSavings(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sIdle <= sBase {
+				t.Errorf("%s n=%d: idle savings %.3f not above base %.3f",
+					high.Name, n, sIdle, sBase)
+			}
+		}
+	}
+}
+
+func TestBurstSavingsOneIsZero(t *testing.T) {
+	m := mustModel(t, energy.Micaz(), energy.Lucent11())
+	got, err := m.BurstSavings(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("BurstSavings(1) = %v, want 0 (burst of one IS one wake-up)", got)
+	}
+}
+
+func TestBurstSavingsInvalidN(t *testing.T) {
+	m := mustModel(t, energy.Micaz(), energy.Lucent11())
+	if _, err := m.BurstSavings(0); err == nil {
+		t.Error("BurstSavings(0) did not error")
+	}
+	if _, err := m.BurstSavings(-5); err == nil {
+		t.Error("BurstSavings(-5) did not error")
+	}
+}
+
+func TestBurstEnergyEdges(t *testing.T) {
+	m := mustModel(t, energy.Micaz(), energy.Lucent11())
+	if got := m.BurstEnergy(0); got != 0 {
+		t.Errorf("BurstEnergy(0) = %v, want 0", got)
+	}
+	if got := m.PerPacketEnergy(-1); got != 0 {
+		t.Errorf("PerPacketEnergy(-1) = %v, want 0", got)
+	}
+	if got, want := m.BurstEnergy(1), m.PerPacketEnergy(1); got != want {
+		t.Errorf("BurstEnergy(1) = %v != PerPacketEnergy(1) = %v", got, want)
+	}
+}
+
+// Property: burst savings are monotone non-decreasing in n and bounded
+// within [0, 1).
+func TestBurstSavingsMonotoneBounded(t *testing.T) {
+	m := mustModel(t, energy.Micaz(), energy.Cabletron(),
+		WithIdleTime(params.PostBurstIdle))
+	f := func(a uint16) bool {
+		n := int(a%2000) + 1
+		s1, err1 := m.BurstSavings(n)
+		s2, err2 := m.BurstSavings(n + 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s2 >= s1-1e-12 && s1 >= 0 && s1 < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: burst energy equals per-packet energy minus the amortized
+// overheads: E_burst(n) = n*transfer + overhead, E_per(n) = n*(transfer +
+// overhead), so E_per - E_burst = (n-1)*overhead.
+func TestBurstOverheadAmortization(t *testing.T) {
+	m := mustModel(t, energy.Micaz(), energy.Lucent2())
+	overhead := m.WakeupEnergy() + m.WakeupHandshakeEnergy() + m.IdleEnergy()
+	f := func(a uint16) bool {
+		n := int(a%500) + 1
+		diff := m.PerPacketEnergy(n) - m.BurstEnergy(n)
+		want := units.Energy(float64(n-1)) * overhead
+		rel := (diff - want).Joules()
+		if want > 0 {
+			rel /= want.Joules()
+		}
+		return rel < 1e-9 && rel > -1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

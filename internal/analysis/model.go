@@ -1,0 +1,314 @@
+// Package analysis implements the break-even analysis of the paper's
+// Section 2: the single-hop energy models E_L(s) and E_H(s, R)
+// (Equations 1 and 2), the break-even data size s* (Equation 3), the
+// multi-hop extensions (Equations 4 and 5) and the burst-size savings
+// model behind Figure 4.
+//
+// The models are purely analytic — no simulation — and are the reference
+// against which the discrete-event results of internal/netsim are
+// validated.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"bulktx/internal/energy"
+	"bulktx/internal/params"
+	"bulktx/internal/units"
+)
+
+// ErrInfeasible is returned by break-even computations when the
+// high-power radio never beats the low-power radio (the denominator of
+// Equation 3 is non-positive), as for Cabletron/Lucent-2 Mbps vs Micaz in
+// the single-hop case.
+var ErrInfeasible = errors.New("analysis: high-power radio is never more efficient")
+
+// Link describes the packetization both radios apply to a data stream.
+type Link struct {
+	// PayloadL and HeaderL are the sensor-radio data payload and frame
+	// header sizes.
+	PayloadL, HeaderL units.ByteSize
+	// PayloadH and HeaderH are the 802.11 data payload and frame header
+	// sizes.
+	PayloadH, HeaderH units.ByteSize
+	// Control is the payload of BCP control messages (wake-up, ack)
+	// carried over the sensor radio.
+	Control units.ByteSize
+	// RetxL and RetxH are the expected number of transmissions per packet
+	// (the paper's n_i; 1 means no losses). Values below 1 are invalid.
+	RetxL, RetxH float64
+}
+
+// DefaultLink returns the packetization used throughout the paper's
+// evaluation: 32 B sensor packets, 1024 B 802.11 packets, loss-free links.
+func DefaultLink() Link {
+	return Link{
+		PayloadL: params.SensorPayload,
+		HeaderL:  params.SensorHeader,
+		PayloadH: params.WifiPayload,
+		HeaderH:  params.WifiHeader,
+		Control:  params.ControlPayload,
+		RetxL:    1,
+		RetxH:    1,
+	}
+}
+
+// Validate reports whether the link parameters are usable.
+func (l Link) Validate() error {
+	switch {
+	case l.PayloadL <= 0 || l.PayloadH <= 0:
+		return fmt.Errorf("analysis: non-positive payload sizes %v/%v", l.PayloadL, l.PayloadH)
+	case l.HeaderL < 0 || l.HeaderH < 0 || l.Control < 0:
+		return fmt.Errorf("analysis: negative header/control size")
+	case l.RetxL < 1 || l.RetxH < 1:
+		return fmt.Errorf("analysis: expected transmissions below 1 (%v/%v)", l.RetxL, l.RetxH)
+	}
+	return nil
+}
+
+// Model is a configured dual-radio energy model: one low-power and one
+// high-power profile plus the operational parameters of Equations 1-2.
+type Model struct {
+	low  energy.Profile
+	high energy.Profile
+	link Link
+
+	idleTime     time.Duration
+	idleRadios   int
+	wakeupRadios int
+	overhearL    units.Energy
+	overhearH    units.Energy
+}
+
+// Option configures a Model.
+type Option func(*Model)
+
+// WithLink overrides the packetization.
+func WithLink(l Link) Option {
+	return func(m *Model) { m.link = l }
+}
+
+// WithIdleTime sets the total time the high-power radios idle per
+// transfer (the paper's E_idle contributor; Figure 2 sweeps this).
+func WithIdleTime(d time.Duration) Option {
+	return func(m *Model) { m.idleTime = d }
+}
+
+// WithIdleRadios sets how many high-power radios are charged for idling
+// (default 2: sender and receiver).
+func WithIdleRadios(n int) Option {
+	return func(m *Model) { m.idleRadios = n }
+}
+
+// WithWakeupRadios sets how many high-power radios are charged the fixed
+// wake-up energy (default 2: sender and receiver).
+func WithWakeupRadios(n int) Option {
+	return func(m *Model) { m.wakeupRadios = n }
+}
+
+// WithOverhearing sets the fixed per-transfer overhearing energies E_o^L
+// and E_o^H (both zero in the paper's Section 2 analysis; non-zero in the
+// Section 4 sensitivity).
+func WithOverhearing(low, high units.Energy) Option {
+	return func(m *Model) {
+		m.overhearL = low
+		m.overhearH = high
+	}
+}
+
+// NewModel builds a dual-radio model from a low-power and a high-power
+// profile. It returns an error if the profiles are invalid or swapped.
+func NewModel(low, high energy.Profile, opts ...Option) (*Model, error) {
+	if err := low.Validate(); err != nil {
+		return nil, err
+	}
+	if err := high.Validate(); err != nil {
+		return nil, err
+	}
+	if low.Class != energy.LowPower {
+		return nil, fmt.Errorf("analysis: %q is not a low-power profile", low.Name)
+	}
+	if high.Class != energy.HighPower {
+		return nil, fmt.Errorf("analysis: %q is not a high-power profile", high.Name)
+	}
+	m := &Model{
+		low:          low,
+		high:         high,
+		link:         DefaultLink(),
+		idleRadios:   2,
+		wakeupRadios: 2,
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if err := m.link.Validate(); err != nil {
+		return nil, err
+	}
+	if m.idleRadios < 0 || m.wakeupRadios < 0 {
+		return nil, fmt.Errorf("analysis: negative radio counts")
+	}
+	if m.idleTime < 0 {
+		return nil, fmt.Errorf("analysis: negative idle time %v", m.idleTime)
+	}
+	return m, nil
+}
+
+// Low returns the model's low-power profile.
+func (m *Model) Low() energy.Profile { return m.low }
+
+// High returns the model's high-power profile.
+func (m *Model) High() energy.Profile { return m.high }
+
+// Link returns the model's packetization.
+func (m *Model) Link() Link { return m.link }
+
+// NumPackets returns ceil(s / payload), the packet count for s bytes.
+func NumPackets(s, payload units.ByteSize) int64 {
+	if s <= 0 {
+		return 0
+	}
+	return (s.Bytes() + payload.Bytes() - 1) / payload.Bytes()
+}
+
+// SensorEnergy evaluates Equation 1: the energy to move s bytes one hop
+// over the low-power radio, charging transmitter and receiver for every
+// (payload+header) frame, n_i expected transmissions per frame, plus the
+// configured overhearing energy.
+func (m *Model) SensorEnergy(s units.ByteSize) units.Energy {
+	n := NumPackets(s, m.link.PayloadL)
+	perFrameBits := float64((m.link.PayloadL + m.link.HeaderL).Bits())
+	joules := m.low.LinkEnergyPerBit().Joules() * perFrameBits * float64(n) * m.link.RetxL
+	return units.Energy(joules) + m.overhearL
+}
+
+// WakeupHandshakeEnergy is E_wakeup^L of Equation 2: the cost of the
+// wake-up message and its ack over the low-power radio (two control
+// frames, transmitter+receiver).
+func (m *Model) WakeupHandshakeEnergy() units.Energy {
+	frameBits := float64((m.link.Control + m.link.HeaderL).Bits())
+	perFrame := m.low.LinkEnergyPerBit().Joules() * frameBits * m.link.RetxL
+	return units.Energy(2 * perFrame)
+}
+
+// IdleEnergy is E_idle of Equation 2 for the configured idle time.
+func (m *Model) IdleEnergy() units.Energy {
+	return units.Energy(float64(m.idleRadios)*m.high.Idle.Watts()) *
+		units.Energy(m.idleTime.Seconds())
+}
+
+// WakeupEnergy is E_wakeup^H of Equation 2: the fixed switch-on energy
+// for the configured number of endpoints.
+func (m *Model) WakeupEnergy() units.Energy {
+	return units.Energy(float64(m.wakeupRadios)) * m.high.Wakeup
+}
+
+// WifiEnergy evaluates Equation 2: the energy to move s bytes one hop over
+// the high-power radio, including both endpoints' wake-up energy, the
+// low-power handshake, idling and the data transfer itself.
+func (m *Model) WifiEnergy(s units.ByteSize) units.Energy {
+	n := NumPackets(s, m.link.PayloadH)
+	perFrameBits := float64((m.link.PayloadH + m.link.HeaderH).Bits())
+	transfer := m.high.LinkEnergyPerBit().Joules() * perFrameBits * float64(n) * m.link.RetxH
+	return m.WakeupEnergy() + m.WakeupHandshakeEnergy() + m.IdleEnergy() +
+		m.overhearH + units.Energy(transfer)
+}
+
+// perBitL is the effective per-payload-bit cost of the low-power path
+// including header amortization and expected retransmissions:
+// (P_tx+P_rx)/R_L * (1 + hs_L/ps_L) * n_L.
+func (m *Model) perBitL() float64 {
+	overhead := 1 + float64(m.link.HeaderL)/float64(m.link.PayloadL)
+	return m.low.LinkEnergyPerBit().Joules() * overhead * m.link.RetxL
+}
+
+// perBitH is the high-power analogue of perBitL.
+func (m *Model) perBitH() float64 {
+	overhead := 1 + float64(m.link.HeaderH)/float64(m.link.PayloadH)
+	return m.high.LinkEnergyPerBit().Joules() * overhead * m.link.RetxH
+}
+
+// Feasible reports whether the high-power radio ever wins, i.e. whether
+// the denominator of Equation 3 is positive.
+func (m *Model) Feasible() bool {
+	return m.perBitL() > m.perBitH()
+}
+
+// BreakEvenClosedForm evaluates Equation 3 directly: the continuous
+// approximation of the break-even size
+//
+//	s* = (E_wakeup^H + E_wakeup^L + E_idle) /
+//	     ((P_tx^L+P_rx^L)/R_L (1+hs_L/ps_L) - (P_tx^H+P_rx^H)/R_H (1+hs_H/ps_H))
+//
+// It returns ErrInfeasible when the denominator is non-positive.
+func (m *Model) BreakEvenClosedForm() (units.ByteSize, error) {
+	denomPerBit := m.perBitL() - m.perBitH()
+	if denomPerBit <= 0 {
+		return 0, fmt.Errorf("%w: %s vs %s", ErrInfeasible, m.high.Name, m.low.Name)
+	}
+	numer := (m.WakeupEnergy() + m.WakeupHandshakeEnergy() + m.IdleEnergy() +
+		m.overhearH - m.overhearL).Joules()
+	if numer < 0 {
+		numer = 0
+	}
+	bits := numer / denomPerBit
+	return units.ByteSize(math.Ceil(bits / 8)), nil
+}
+
+// BreakEven finds the smallest data size (in whole sensor packets) at
+// which the packetized high-power model (Equation 2) is no more expensive
+// than the packetized low-power model (Equation 1). It refines the
+// closed-form estimate against the discrete step functions.
+func (m *Model) BreakEven() (units.ByteSize, error) {
+	if !m.Feasible() {
+		return 0, fmt.Errorf("%w: %s vs %s", ErrInfeasible, m.high.Name, m.low.Name)
+	}
+	return m.breakEven(m.SensorEnergy, m.WifiEnergy)
+}
+
+// breakEven searches for the smallest whole-sensor-packet crossover of
+// the given cost curves. Callers must have established feasibility (the
+// curves' slopes eventually cross); the packet-count cap below is a
+// backstop only.
+func (m *Model) breakEven(
+	sensor func(units.ByteSize) units.Energy,
+	wifi func(units.ByteSize) units.Energy,
+) (units.ByteSize, error) {
+	step := m.link.PayloadL
+	// Exponential search for an upper bound in sensor-packet multiples.
+	hi := int64(1)
+	const maxPackets = int64(1) << 32 // 128 GiB of 32 B packets: unreachable
+	for ; hi < maxPackets; hi *= 2 {
+		s := units.ByteSize(hi) * step
+		if wifi(s) <= sensor(s) {
+			break
+		}
+	}
+	if hi >= maxPackets {
+		return 0, fmt.Errorf("%w: no crossover below %d packets", ErrInfeasible, maxPackets)
+	}
+	lo := hi / 2
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		s := units.ByteSize(mid) * step
+		if wifi(s) <= sensor(s) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return units.ByteSize(hi) * step, nil
+}
+
+// Savings returns the fractional energy saved by the high-power path at
+// data size s: 1 - E_H(s)/E_L(s). Negative values mean the high-power
+// path costs more.
+func (m *Model) Savings(s units.ByteSize) float64 {
+	el := m.SensorEnergy(s).Joules()
+	if el == 0 {
+		return 0
+	}
+	return 1 - m.WifiEnergy(s).Joules()/el
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"bulktx/internal/units"
+)
+
+// Multi-hop extension (paper Section 2.1, Equations 4-5). When the
+// high-power radio reaches fp hops of sensor-radio forward progress in a
+// single transmission, the sensor path pays fp times the single-hop cost
+// while the high-power path pays one transfer plus forwarding the wake-up
+// message across the intermediate sensor hops.
+
+// SensorEnergyMH evaluates Equation 4: E_L^mh(s) = fp * E_L(s).
+func (m *Model) SensorEnergyMH(s units.ByteSize, fp int) units.Energy {
+	if fp < 1 {
+		fp = 1
+	}
+	return units.Energy(float64(fp)) * m.SensorEnergy(s)
+}
+
+// WifiEnergyMH evaluates Equation 5:
+// E_H^mh(s) = E_H(s) + (fp-1) * E_wakeup^L.
+func (m *Model) WifiEnergyMH(s units.ByteSize, fp int) units.Energy {
+	if fp < 1 {
+		fp = 1
+	}
+	return m.WifiEnergy(s) + units.Energy(float64(fp-1))*m.WakeupHandshakeEnergy()
+}
+
+// FeasibleMH reports whether the high-power radio wins for some data size
+// given fp hops of forward progress.
+func (m *Model) FeasibleMH(fp int) bool {
+	if fp < 1 {
+		fp = 1
+	}
+	return float64(fp)*m.perBitL() > m.perBitH()
+}
+
+// BreakEvenClosedFormMH solves the multi-hop analogue of Equation 3:
+//
+//	s* = (E_wakeup^H + fp*E_wakeup^L + E_idle) / (fp*perBitL - perBitH)
+func (m *Model) BreakEvenClosedFormMH(fp int) (units.ByteSize, error) {
+	if fp < 1 {
+		fp = 1
+	}
+	denom := float64(fp)*m.perBitL() - m.perBitH()
+	if denom <= 0 {
+		return 0, fmt.Errorf("%w: %s vs %s at fp=%d",
+			ErrInfeasible, m.high.Name, m.low.Name, fp)
+	}
+	numer := (m.WakeupEnergy() +
+		units.Energy(float64(fp))*m.WakeupHandshakeEnergy() +
+		m.IdleEnergy() + m.overhearH).Joules() -
+		float64(fp)*m.overhearL.Joules()
+	if numer < 0 {
+		numer = 0
+	}
+	return units.ByteSize(math.Ceil(numer / denom / 8)), nil
+}
+
+// BreakEvenMH finds the discrete multi-hop break-even size for fp hops of
+// forward progress.
+func (m *Model) BreakEvenMH(fp int) (units.ByteSize, error) {
+	if !m.FeasibleMH(fp) {
+		return 0, fmt.Errorf("%w: %s vs %s at fp=%d",
+			ErrInfeasible, m.high.Name, m.low.Name, fp)
+	}
+	return m.breakEven(
+		func(s units.ByteSize) units.Energy { return m.SensorEnergyMH(s, fp) },
+		func(s units.ByteSize) units.Energy { return m.WifiEnergyMH(s, fp) },
+	)
+}
+
+// SavingsMH is the multi-hop analogue of Savings.
+func (m *Model) SavingsMH(s units.ByteSize, fp int) float64 {
+	el := m.SensorEnergyMH(s, fp).Joules()
+	if el == 0 {
+		return 0
+	}
+	return 1 - m.WifiEnergyMH(s, fp).Joules()/el
+}

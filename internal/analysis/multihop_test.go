@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"bulktx/internal/energy"
+	"bulktx/internal/units"
+)
+
+func TestMultiHopEquations(t *testing.T) {
+	m := mustModel(t, energy.Micaz(), energy.Cabletron())
+	s := 4 * units.Kilobyte
+	// Equation 4: E_L^mh = fp * E_L.
+	if got, want := m.SensorEnergyMH(s, 5), 5*m.SensorEnergy(s); got != want {
+		t.Errorf("SensorEnergyMH = %v, want %v", got, want)
+	}
+	// Equation 5: E_H^mh = E_H + (fp-1) * E_wakeup^L.
+	want := m.WifiEnergy(s) + 4*m.WakeupHandshakeEnergy()
+	if got := m.WifiEnergyMH(s, 5); got != want {
+		t.Errorf("WifiEnergyMH = %v, want %v", got, want)
+	}
+}
+
+func TestMultiHopFPOneEqualsSingleHop(t *testing.T) {
+	m := mustModel(t, energy.Mica(), energy.Cabletron())
+	s := 2 * units.Kilobyte
+	if m.SensorEnergyMH(s, 1) != m.SensorEnergy(s) {
+		t.Error("fp=1 sensor energy differs from single-hop")
+	}
+	if m.WifiEnergyMH(s, 1) != m.WifiEnergy(s) {
+		t.Error("fp=1 wifi energy differs from single-hop")
+	}
+	seMH, err := m.BreakEvenMH(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seSH, err := m.BreakEven()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seMH != seSH {
+		t.Errorf("BreakEvenMH(1) = %v, BreakEven() = %v", seMH, seSH)
+	}
+}
+
+func TestFPBelowOneClamped(t *testing.T) {
+	m := mustModel(t, energy.Mica(), energy.Cabletron())
+	s := 1 * units.Kilobyte
+	if m.SensorEnergyMH(s, 0) != m.SensorEnergy(s) {
+		t.Error("fp=0 not clamped to 1")
+	}
+	if m.WifiEnergyMH(s, -3) != m.WifiEnergy(s) {
+		t.Error("negative fp not clamped to 1")
+	}
+}
+
+func TestPaperClaimMulithopFeasibility(t *testing.T) {
+	// Section 2.2 / Figure 3: Cabletron-Micaz and Lucent2-Micaz, both
+	// infeasible single-hop, become feasible once the 802.11 radio covers
+	// several sensor hops in one transmission (paper: 4 and 3 hops; the
+	// exact hop depends on header conventions, so we assert the crossover
+	// lies in {2,3,4} and record the measured value in EXPERIMENTS.md).
+	for _, high := range []energy.Profile{energy.Cabletron(), energy.Lucent2()} {
+		m := mustModel(t, energy.Micaz(), high)
+		if m.FeasibleMH(1) {
+			t.Errorf("%s-Micaz feasible at fp=1, should not be", high.Name)
+		}
+		crossover := 0
+		for fp := 2; fp <= 6; fp++ {
+			if m.FeasibleMH(fp) {
+				crossover = fp
+				break
+			}
+		}
+		if crossover < 2 || crossover > 4 {
+			t.Errorf("%s-Micaz MH feasibility crossover = %d, want within 2..4",
+				high.Name, crossover)
+		}
+	}
+}
+
+func TestPaperClaimMultihopLowersBreakEven(t *testing.T) {
+	// Section 2.2: "s* for Cabletron and Lucent (2 Mbps) radios is lower
+	// for the multi-hop case (i.e., 0.15-0.75 KB)" with Mica/Mica2.
+	for _, c := range []struct {
+		low, high energy.Profile
+	}{
+		{energy.Mica(), energy.Cabletron()},
+		{energy.Mica2(), energy.Cabletron()},
+		{energy.Mica(), energy.Lucent2()},
+		{energy.Mica2(), energy.Lucent2()},
+	} {
+		m := mustModel(t, c.low, c.high)
+		sh, err := m.BreakEven()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mh, err := m.BreakEvenMH(5) // 5 sensor hops covered in one 802.11 hop
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mh >= sh {
+			t.Errorf("%s-%s: MH s* %v not below SH s* %v", c.high.Name, c.low.Name, mh, sh)
+		}
+		if mh < 32*units.Byte || mh > 1*units.Kilobyte {
+			t.Errorf("%s-%s: MH s* = %v, want sub-KB", c.high.Name, c.low.Name, mh)
+		}
+	}
+}
+
+func TestBreakEvenMHForSingleHopInfeasiblePair(t *testing.T) {
+	// Regression: BreakEvenMH must work for pairs that are infeasible at
+	// fp=1 (Cabletron-Micaz) once fp makes them profitable — an earlier
+	// version re-checked single-hop feasibility inside the search.
+	m := mustModel(t, energy.Micaz(), energy.Cabletron())
+	if _, err := m.BreakEven(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("single-hop should be infeasible, got %v", err)
+	}
+	var prev units.ByteSize
+	for fp := 3; fp <= 6; fp++ {
+		s, err := m.BreakEvenMH(fp)
+		if err != nil {
+			t.Fatalf("BreakEvenMH(%d): %v", fp, err)
+		}
+		if s <= 0 || s > 1*units.Kilobyte {
+			t.Errorf("fp=%d: s* = %v, want sub-KB (paper Section 2.2)", fp, s)
+		}
+		if prev > 0 && s > prev {
+			t.Errorf("fp=%d: s* = %v above fp-1's %v", fp, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestBreakEvenMHInfeasible(t *testing.T) {
+	m := mustModel(t, energy.Micaz(), energy.Cabletron())
+	if _, err := m.BreakEvenMH(1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("BreakEvenMH(1) err = %v, want ErrInfeasible", err)
+	}
+	if _, err := m.BreakEvenClosedFormMH(1); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("BreakEvenClosedFormMH(1) err = %v, want ErrInfeasible", err)
+	}
+}
+
+// Property: s* is non-increasing in forward progress (Figure 3's shape).
+func TestBreakEvenMonotoneInForwardProgress(t *testing.T) {
+	m := mustModel(t, energy.Mica(), energy.Cabletron())
+	f := func(a uint8) bool {
+		fp := int(a%5) + 1
+		s1, err1 := m.BreakEvenMH(fp)
+		s2, err2 := m.BreakEvenMH(fp + 1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return s2 <= s1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSavingsMHGrowsWithFP(t *testing.T) {
+	m := mustModel(t, energy.Mica(), energy.Cabletron())
+	s := 4 * units.Kilobyte
+	prev := -1.0
+	for fp := 1; fp <= 6; fp++ {
+		got := m.SavingsMH(s, fp)
+		if got <= prev {
+			t.Errorf("SavingsMH(fp=%d) = %.4f, not above fp-1's %.4f", fp, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestSavingsMHZeroSize(t *testing.T) {
+	m := mustModel(t, energy.Mica(), energy.Cabletron())
+	if got := m.SavingsMH(0, 3); got != 0 {
+		t.Errorf("SavingsMH(0, 3) = %v, want 0", got)
+	}
+}

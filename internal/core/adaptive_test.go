@@ -1,0 +1,209 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"bulktx/internal/params"
+	"bulktx/internal/units"
+)
+
+func TestObservedRetx(t *testing.T) {
+	tests := []struct {
+		sent, retries uint64
+		want          float64
+	}{
+		{0, 0, 1},
+		{0, 100, 1},
+		{100, 0, 1},
+		{100, 50, 1.5},
+		{100, 100, 2},
+		{10, 1000, 8}, // clamped
+	}
+	for _, tt := range tests {
+		if got := observedRetx(tt.sent, tt.retries); got != tt.want {
+			t.Errorf("observedRetx(%d, %d) = %v, want %v",
+				tt.sent, tt.retries, got, tt.want)
+		}
+	}
+}
+
+func TestAdaptiveThresholdConverges(t *testing.T) {
+	// On clean links the adaptive threshold should settle at alpha times
+	// the analytic s* regardless of a (too large) starting value.
+	h := newHarness(t, harnessOpts{
+		nodes:        2,
+		burstPackets: 100, // deliberately far from alpha*s*
+		cfgMut: func(i int, c *Config) {
+			c.AdaptiveThreshold = true
+			c.ThresholdAlpha = 2
+		},
+	})
+	h.generate(0, 1, 100)
+	h.sched.RunUntil(time.Minute)
+	st := h.agents[0].Stats()
+	if st.ThresholdAdaptations == 0 {
+		t.Fatal("threshold never adapted")
+	}
+	got := h.agents[0].Config().BurstThreshold
+	// Analytic s* for Micaz/Lucent11 with our defaults is 672 B; alpha=2
+	// gives 1344 B, rounded down to whole packets.
+	want := units.ByteSize(1344)
+	if got != want {
+		t.Errorf("adapted threshold = %v, want %v (2 x s*)", got, want)
+	}
+}
+
+func TestAdaptiveThresholdRisesUnderWifiLoss(t *testing.T) {
+	// Heavy 802.11 loss raises the per-bit cost of the high-power path,
+	// pushing the recomputed threshold up (or to the buffer cap when the
+	// path stops being profitable).
+	clean := adaptedThreshold(t, 0)
+	lossy := adaptedThreshold(t, 0.45)
+	if lossy <= clean {
+		t.Errorf("threshold under 45%% wifi loss (%v) not above clean (%v)", lossy, clean)
+	}
+}
+
+func adaptedThreshold(t *testing.T, wifiLoss float64) units.ByteSize {
+	t.Helper()
+	h := newHarness(t, harnessOpts{
+		nodes:        2,
+		burstPackets: 50,
+		wifiLoss:     wifiLoss,
+		cfgMut: func(i int, c *Config) {
+			c.AdaptiveThreshold = true
+			c.ThresholdAlpha = 1
+		},
+	})
+	h.generate(0, 1, 400)
+	h.sched.RunUntil(5 * time.Minute)
+	if st := h.agents[0].Stats(); st.BurstsSent == 0 {
+		t.Fatal("no bursts completed")
+	}
+	return h.agents[0].Config().BurstThreshold
+}
+
+func TestDelayBoundReroutesOverdueData(t *testing.T) {
+	// Threshold 100 packets but only 10 generated: without the bound the
+	// packets would sit forever; with a 2 s bound they arrive over the
+	// sensor radio.
+	h := newHarness(t, harnessOpts{
+		nodes:        2,
+		burstPackets: 100,
+		cfgMut: func(i int, c *Config) {
+			c.DelayBound = 2 * time.Second
+		},
+	})
+	h.generate(0, 1, 10)
+	h.sched.RunUntil(10 * time.Second)
+	if got := len(h.delivered[1]); got != 10 {
+		t.Fatalf("delivered %d/10 under delay bound", got)
+	}
+	st := h.agents[0].Stats()
+	if st.SensorSends != 10 {
+		t.Errorf("SensorSends = %d, want 10", st.SensorSends)
+	}
+	if st.BurstsSent != 0 {
+		t.Errorf("BurstsSent = %d, want 0 (below threshold)", st.BurstsSent)
+	}
+	// The 802.11 radio must never have woken.
+	if w := h.agents[0].wifi.Transceiver().Meter().Wakeups(); w != 0 {
+		t.Errorf("wifi wakeups = %d, want 0", w)
+	}
+}
+
+func TestDelayBoundRespectsDeadline(t *testing.T) {
+	h := newHarness(t, harnessOpts{
+		nodes:        2,
+		burstPackets: 100,
+		cfgMut: func(i int, c *Config) {
+			c.DelayBound = 2 * time.Second
+		},
+	})
+	var deliveredAt []time.Duration
+	agentDeliver := h.delivered
+	_ = agentDeliver
+	// Wrap: record delivery times relative to creation.
+	h.agents[1].onDeliver = func(p Packet) {
+		deliveredAt = append(deliveredAt, time.Duration(h.sched.Now()-p.Created))
+	}
+	h.generate(0, 1, 5)
+	h.sched.RunUntil(30 * time.Second)
+	if len(deliveredAt) != 5 {
+		t.Fatalf("delivered %d/5", len(deliveredAt))
+	}
+	for i, d := range deliveredAt {
+		// Bound 2 s, monitor period 0.5 s, plus transmission time: allow
+		// 2.6 s.
+		if d > 2600*time.Millisecond {
+			t.Errorf("packet %d delivered after %v, bound was 2 s", i, d)
+		}
+	}
+}
+
+func TestDelayBoundMultiHopRelay(t *testing.T) {
+	// Three nodes: overdue data from node 0 must relay through node 1's
+	// sensor radio to reach node 2.
+	h := newHarness(t, harnessOpts{
+		nodes:        3,
+		burstPackets: 100,
+		cfgMut: func(i int, c *Config) {
+			c.DelayBound = 2 * time.Second
+		},
+	})
+	h.generate(0, 2, 5)
+	h.sched.RunUntil(15 * time.Second)
+	if got := len(h.delivered[2]); got != 5 {
+		t.Fatalf("delivered %d/5 across two sensor hops", got)
+	}
+	if st := h.agents[1].Stats(); st.SensorForwards != 5 {
+		t.Errorf("relay SensorForwards = %d, want 5", st.SensorForwards)
+	}
+}
+
+func TestDelayBoundStillBulksAboveThreshold(t *testing.T) {
+	// With plenty of data the threshold fires long before the bound:
+	// everything still goes over the 802.11 radio.
+	h := newHarness(t, harnessOpts{
+		nodes:        2,
+		burstPackets: 10,
+		cfgMut: func(i int, c *Config) {
+			c.DelayBound = time.Minute
+		},
+	})
+	h.generate(0, 1, 100)
+	h.sched.RunUntil(30 * time.Second)
+	st := h.agents[0].Stats()
+	if st.SensorSends != 0 {
+		t.Errorf("SensorSends = %d, want 0 (threshold fires first)", st.SensorSends)
+	}
+	if got := len(h.delivered[1]); got != 100 {
+		t.Errorf("delivered %d/100", got)
+	}
+}
+
+func TestAdaptiveConfigValidation(t *testing.T) {
+	c := DefaultConfig(0, 10)
+	c.AdaptiveThreshold = true
+	if err := c.Validate(); err == nil {
+		t.Error("adaptive without alpha accepted")
+	}
+	c.ThresholdAlpha = 1.5
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid adaptive config rejected: %v", err)
+	}
+	c.DelayBound = -time.Second
+	if err := c.Validate(); err == nil {
+		t.Error("negative delay bound accepted")
+	}
+}
+
+// Sanity: params referenced by the extensions stay consistent.
+func TestExtensionDefaultsOff(t *testing.T) {
+	c := DefaultConfig(0, 10)
+	if c.AdaptiveThreshold || c.DelayBound != 0 {
+		t.Error("extensions enabled by default")
+	}
+	_ = params.BurstSizes
+}

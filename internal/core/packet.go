@@ -1,0 +1,83 @@
+// Package core implements the paper's primary contribution: the Bulk
+// Communication Protocol (BCP) of Section 3.
+//
+// A BCP agent runs on every node of a dual-radio platform. Data packets
+// are buffered per high-power next hop until the buffer passes the
+// alpha-s* threshold; the agent then runs a wake-up handshake over the
+// always-on low-power radio (wake-up message carrying the burst size,
+// answered by a wake-up ack carrying the granted amount), turns the
+// high-power radio on, ships the granted data as a bulk burst of
+// high-power frames, and turns the radio back off. Receivers fragment
+// bursts back into the original packets, deliver or re-buffer them
+// (store-and-forward), and bound their idle time with timeouts.
+package core
+
+import (
+	"fmt"
+
+	"bulktx/internal/sim"
+	"bulktx/internal/units"
+)
+
+// Packet is the end-to-end application data unit (a sensor packet).
+// Payload content is not simulated; Size carries its length.
+type Packet struct {
+	// Src and Dst are end-to-end node indices (low-power addresses).
+	Src, Dst int
+	// Seq is the source-assigned sequence number.
+	Seq uint64
+	// Size is the payload size (the paper uses 32 B).
+	Size units.ByteSize
+	// Created is the generation timestamp, used for delay metrics.
+	Created sim.Time
+}
+
+// String formats the packet for logs.
+func (p Packet) String() string {
+	return fmt.Sprintf("pkt %d->%d seq=%d size=%v", p.Src, p.Dst, p.Seq, p.Size)
+}
+
+// wakeupMsg travels over the low-power radio from the BCP sender toward
+// the high-power next hop, possibly across multiple sensor hops.
+type wakeupMsg struct {
+	// ID identifies the handshake attempt.
+	ID uint64
+	// Origin is the BCP sender (low-power address).
+	Origin int
+	// Target is the intended BCP receiver (low-power address).
+	Target int
+	// Burst is the amount of buffered data the sender wants to ship.
+	Burst units.ByteSize
+	// Path records the nodes traversed so far (origin first); the ack
+	// retraces it backwards.
+	Path []int
+}
+
+// wakeupAck returns the granted burst size along the recorded path.
+type wakeupAck struct {
+	// ID echoes the handshake ID.
+	ID uint64
+	// Origin and Target echo the handshake endpoints.
+	Origin, Target int
+	// Granted is the data amount the receiver admits (0 < Granted <=
+	// requested burst; a full buffer yields no ack at all).
+	Granted units.ByteSize
+	// Path is the remaining return route (a stack; the last element is
+	// the next node to visit).
+	Path []int
+}
+
+// burstFrame is the payload of one high-power frame: a bulk assembly of
+// original packets (paper: "Data messages are received as an assembly of
+// multiple packets from the MAC layer of the high-power radio and are
+// fragmented into the original packets by BCP").
+type burstFrame struct {
+	// ID echoes the handshake ID.
+	ID uint64
+	// Origin and Target are the BCP endpoints (low-power addresses).
+	Origin, Target int
+	// Index and Total number this frame within the burst (1-based).
+	Index, Total int
+	// Packets are the original sensor packets carried by this frame.
+	Packets []Packet
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"bulktx/internal/metrics"
+	"bulktx/internal/netsim"
+)
+
+// Ablations probe the design choices DESIGN.md calls out. They are not
+// paper artifacts but sensitivity studies around them.
+
+// AblationShortcut compares the multi-hop dual model routing bursts over
+// a wifi tree (the evaluation default) against sensor-tree next hops
+// upgraded by Section 3's shortcut learning.
+func AblationShortcut(s Scale) (metrics.Table, error) {
+	tbl := metrics.Table{
+		Title:  "Ablation: wifi-tree routing vs shortcut learning (MH, burst 100)",
+		XLabel: "senders",
+		YLabel: "normalized energy (J/Kbit)",
+	}
+	for _, learner := range []bool{false, true} {
+		label := "wifi-tree"
+		if learner {
+			label = "shortcut-learner"
+		}
+		series := metrics.Series{Label: label}
+		for _, n := range s.Senders {
+			cfg := s.baseConfig(MultiHop, netsim.ModelDual, n, 100)
+			cfg.UseShortcutLearner = learner
+			results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
+			if err != nil {
+				return tbl, err
+			}
+			_, e, _, _ := netsim.Summaries(results)
+			series.X = append(series.X, float64(n))
+			series.Y = append(series.Y, e)
+		}
+		tbl.Series = append(tbl.Series, series)
+	}
+	return tbl, nil
+}
+
+// AblationLinger sweeps the post-burst idle linger (Figure 4's "idle"
+// scenario carried into the full simulation): energy rises as radios
+// linger longer before shutting down.
+func AblationLinger(s Scale) (metrics.Table, error) {
+	tbl := metrics.Table{
+		Title:  "Ablation: post-burst linger (SH, burst 500, 15 senders)",
+		XLabel: "linger(ms)",
+		YLabel: "normalized energy (J/Kbit)",
+	}
+	series := metrics.Series{Label: "DualRadio-500"}
+	for _, linger := range []time.Duration{
+		0, 10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+	} {
+		cfg := s.baseConfig(SingleHop, netsim.ModelDual, 15, 500)
+		cfg.PostBurstLinger = linger
+		results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
+		if err != nil {
+			return tbl, err
+		}
+		_, e, _, _ := netsim.Summaries(results)
+		series.X = append(series.X, float64(linger.Milliseconds()))
+		series.Y = append(series.Y, e)
+	}
+	tbl.Series = append(tbl.Series, series)
+	return tbl, nil
+}
+
+// AblationMinGrant evaluates the paper's unevaluated extension: senders
+// give up when the receiver grants less than the break-even amount.
+func AblationMinGrant(s Scale) (metrics.Table, error) {
+	tbl := metrics.Table{
+		Title:  "Ablation: give-up-below-s* extension (SH, burst 500)",
+		XLabel: "senders",
+		YLabel: "goodput",
+	}
+	for _, minGrant := range []int{0, 40} {
+		label := "accept-any-grant"
+		if minGrant > 0 {
+			label = fmt.Sprintf("decline-below-%d", minGrant)
+		}
+		series := metrics.Series{Label: label}
+		for _, n := range s.Senders {
+			cfg := s.baseConfig(SingleHop, netsim.ModelDual, n, 500)
+			cfg.MinGrantPackets = minGrant
+			results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
+			if err != nil {
+				return tbl, err
+			}
+			g, _, _, _ := netsim.Summaries(results)
+			series.X = append(series.X, float64(n))
+			series.Y = append(series.Y, g)
+		}
+		tbl.Series = append(tbl.Series, series)
+	}
+	return tbl, nil
+}
+
+// AblationAdaptive compares static burst thresholds against the adaptive
+// extension (the paper's stated future work: adapt s* to observed
+// retransmissions) under wifi loss, where the static threshold is
+// miscalibrated.
+func AblationAdaptive(s Scale) (metrics.Table, error) {
+	tbl := metrics.Table{
+		Title:  "Ablation: static vs adaptive threshold under 802.11 loss (SH, 15 senders)",
+		XLabel: "wifi loss",
+		YLabel: "normalized energy (J/Kbit)",
+	}
+	for _, alpha := range []float64{0, 2} {
+		label := "static-500"
+		if alpha > 0 {
+			label = fmt.Sprintf("adaptive-alpha-%g", alpha)
+		}
+		series := metrics.Series{Label: label}
+		for _, loss := range []float64{0, 0.1, 0.3} {
+			cfg := s.baseConfig(SingleHop, netsim.ModelDual, 15, 500)
+			cfg.WifiLoss = loss
+			cfg.AdaptiveThresholdAlpha = alpha
+			results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
+			if err != nil {
+				return tbl, err
+			}
+			_, e, _, _ := netsim.Summaries(results)
+			series.X = append(series.X, loss)
+			series.Y = append(series.Y, e)
+		}
+		tbl.Series = append(tbl.Series, series)
+	}
+	return tbl, nil
+}
+
+// AblationDelayBound measures the delay-constrained extension (paper
+// Section 5 future work): how much energy does honoring a delay bound
+// cost when traffic trickles below the threshold?
+func AblationDelayBound(s Scale) (metrics.Table, error) {
+	tbl := metrics.Table{
+		Title:  "Ablation: delay-bound reroute over the low-power radio (SH, 5 senders, burst 1000)",
+		XLabel: "bound(s)",
+		YLabel: "normalized energy (J/Kbit)",
+	}
+	energySeries := metrics.Series{Label: "energy"}
+	delaySeries := metrics.Series{Label: "mean-delay(s)"}
+	for _, bound := range []time.Duration{
+		0, 60 * time.Second, 20 * time.Second, 5 * time.Second,
+	} {
+		cfg := s.baseConfig(SingleHop, netsim.ModelDual, 5, 1000)
+		cfg.DelayBound = bound
+		results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
+		if err != nil {
+			return tbl, err
+		}
+		_, e, _, d := netsim.Summaries(results)
+		x := bound.Seconds()
+		energySeries.X = append(energySeries.X, x)
+		energySeries.Y = append(energySeries.Y, e)
+		delaySeries.X = append(delaySeries.X, x)
+		delaySeries.Y = append(delaySeries.Y, point(d.Seconds()))
+	}
+	tbl.Series = append(tbl.Series, energySeries, delaySeries)
+	return tbl, nil
+}
+
+// AblationLoss sweeps sensor-channel loss to exercise the wake-up
+// retry machinery (handshake robustness).
+func AblationLoss(s Scale) (metrics.Table, error) {
+	tbl := metrics.Table{
+		Title:  "Ablation: sensor-channel loss vs goodput (SH, burst 100, 15 senders)",
+		XLabel: "loss",
+		YLabel: "goodput",
+	}
+	series := metrics.Series{Label: "DualRadio-100"}
+	for _, loss := range []float64{0, 0.1, 0.2, 0.4} {
+		cfg := s.baseConfig(SingleHop, netsim.ModelDual, 15, 100)
+		cfg.SensorLoss = loss
+		results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
+		if err != nil {
+			return tbl, err
+		}
+		g, _, _, _ := netsim.Summaries(results)
+		series.X = append(series.X, loss)
+		series.Y = append(series.Y, g)
+	}
+	tbl.Series = append(tbl.Series, series)
+	return tbl, nil
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bulktx/internal/metrics"
+	"bulktx/internal/params"
+)
+
+// tinyScale keeps simulation experiments to fractions of a second.
+func tinyScale() Scale {
+	return Scale{
+		Duration: 120 * time.Second,
+		Runs:     2,
+		BaseSeed: 1,
+		Senders:  []int{5, 15},
+		Bursts:   []int{10, 100},
+		SHRate:   params.HighRate,
+		MHRate:   params.HighRate,
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every paper artifact must be regenerable: Table 1 and Figures 1-12.
+	want := []string{
+		"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+	}
+	reg := Registry()
+	for _, name := range want {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("registry missing paper artifact %q", name)
+		}
+	}
+	if len(Names()) != len(reg) {
+		t.Errorf("Names() length %d != registry %d", len(Names()), len(reg))
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("fig99", tinyScale()); err == nil {
+		t.Error("unknown experiment did not error")
+	}
+}
+
+func TestTable1Artifact(t *testing.T) {
+	tbl := Table1()
+	if !strings.Contains(tbl.Title, "Table 1") {
+		t.Errorf("title %q", tbl.Title)
+	}
+	if len(tbl.Series) != 5 {
+		t.Fatalf("series = %d, want 5 columns", len(tbl.Series))
+	}
+	for _, s := range tbl.Series {
+		if len(s.X) != 6 {
+			t.Errorf("series %s has %d rows, want 6 radios", s.Label, len(s.X))
+		}
+	}
+	out := tbl.Render()
+	for _, want := range []string{"1400", "59.1", "1.328"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing Table 1 value %s", want)
+		}
+	}
+}
+
+func TestAnalyticFigures(t *testing.T) {
+	tests := []struct {
+		name   string
+		run    func() (metrics.Table, error)
+		series int
+	}{
+		{"fig1", Fig1, 6},
+		{"fig2", Fig2, 7},
+		{"fig3", Fig3, 6},
+		{"fig4", Fig4, 6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tbl, err := tt.run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Series) != tt.series {
+				t.Errorf("series = %d, want %d", len(tbl.Series), tt.series)
+			}
+			for _, s := range tbl.Series {
+				if len(s.X) == 0 && tt.name != "fig3" {
+					t.Errorf("series %s empty", s.Label)
+				}
+				if len(s.X) != len(s.Y) {
+					t.Errorf("series %s x/y mismatch", s.Label)
+				}
+			}
+		})
+	}
+}
+
+func TestFig3InfeasibleCurvesStartLate(t *testing.T) {
+	tbl, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tbl.Series {
+		if !strings.Contains(s.Label, "Micaz") {
+			continue
+		}
+		// Micaz combos are infeasible at fp=1-2: their curves must not
+		// include those points.
+		for _, x := range s.X {
+			if x < 3 {
+				t.Errorf("%s has a point at fp=%v, should start at >= 3", s.Label, x)
+			}
+		}
+		if len(s.X) == 0 {
+			t.Errorf("%s has no feasible points at all", s.Label)
+		}
+	}
+}
+
+func TestFig4SavingsWithinUnitInterval(t *testing.T) {
+	tbl, err := Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tbl.Series {
+		for i, y := range s.Y {
+			if y.Mean < 0 || y.Mean >= 1 {
+				t.Errorf("%s point %d savings %v outside [0,1)", s.Label, i, y.Mean)
+			}
+		}
+	}
+}
+
+func TestSimulationFigures(t *testing.T) {
+	sc := tinyScale()
+	tests := []struct {
+		name   string
+		run    Runner
+		series int
+	}{
+		{"fig5", Fig5, 4}, // 2 bursts + Sensor + 802.11
+		{"fig6", Fig6, 4}, // 2 bursts + Sensor-ideal + Sensor-header
+		{"fig7", Fig7, 2}, // one per sender count
+		{"fig8", Fig8, 4},
+		{"fig9", Fig9, 4},
+		{"fig10", Fig10, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tbl, err := tt.run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Series) != tt.series {
+				t.Errorf("series = %d, want %d", len(tbl.Series), tt.series)
+			}
+			for _, s := range tbl.Series {
+				if len(s.X) == 0 || len(s.X) != len(s.Y) {
+					t.Errorf("series %s malformed (%d x, %d y)", s.Label, len(s.X), len(s.Y))
+				}
+			}
+		})
+	}
+}
+
+func TestGoodputFigureValuesAreRatios(t *testing.T) {
+	tbl, err := Fig5(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tbl.Series {
+		for i, y := range s.Y {
+			if y.Mean < 0 || y.Mean > 1.0001 {
+				t.Errorf("%s point %d goodput %v outside [0,1]", s.Label, i, y.Mean)
+			}
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	sc := tinyScale()
+	for _, name := range []string{
+		"ablation-shortcut", "ablation-linger", "ablation-mingrant", "ablation-loss",
+		"ablation-adaptive", "ablation-delaybound",
+	} {
+		t.Run(name, func(t *testing.T) {
+			tbl, err := Run(name, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Series) == 0 {
+				t.Error("no series")
+			}
+		})
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	if SingleHop.String() != "SH" || MultiHop.String() != "MH" {
+		t.Error("case names wrong")
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"bulktx/internal/metrics"
+	"bulktx/internal/mote"
+	"bulktx/internal/units"
+)
+
+// prototypeThresholds sweeps alpha-s* over the paper's 500-5000 B range
+// in 250 B steps (fine enough to expose the packet-quantization teeth).
+func prototypeThresholds() []units.ByteSize {
+	var out []units.ByteSize
+	for th := units.ByteSize(500); th <= 5000; th += 250 {
+		out = append(out, th)
+	}
+	return out
+}
+
+// Fig11 reproduces Figure 11: prototype energy per packet vs threshold
+// for the dual-radio scheme against the flat sensor-radio baseline.
+func Fig11() (metrics.Table, error) {
+	tbl := metrics.Table{
+		Title:  "Figure 11: Prototype energy per packet vs threshold (alpha-s*)",
+		XLabel: "threshold(B)",
+		YLabel: "energy per packet (uJ)",
+	}
+	dual := metrics.Series{Label: "Dual-Radio"}
+	sensor := metrics.Series{Label: "Sensor Radio"}
+	for _, th := range prototypeThresholds() {
+		res, err := mote.Run(mote.DefaultConfig(th))
+		if err != nil {
+			return tbl, err
+		}
+		x := float64(th)
+		dual.X = append(dual.X, x)
+		dual.Y = append(dual.Y, point(res.DualEnergyPerPacket.Microjoules()))
+		sensor.X = append(sensor.X, x)
+		sensor.Y = append(sensor.Y, point(res.SensorEnergyPerPacket.Microjoules()))
+	}
+	tbl.Series = append(tbl.Series, dual, sensor)
+	return tbl, nil
+}
+
+// Fig12 reproduces Figure 12: prototype energy per packet vs delay per
+// packet (parametric in the threshold).
+func Fig12() (metrics.Table, error) {
+	tbl := metrics.Table{
+		Title:  "Figure 12: Prototype energy per packet vs delay per packet",
+		XLabel: "delay(ms)",
+		YLabel: "energy per packet (uJ)",
+	}
+	series := metrics.Series{Label: "Dual-Radio"}
+	for _, th := range prototypeThresholds() {
+		res, err := mote.Run(mote.DefaultConfig(th))
+		if err != nil {
+			return tbl, err
+		}
+		series.X = append(series.X, float64(res.MeanDelayPerPacket.Milliseconds()))
+		series.Y = append(series.Y, point(res.DualEnergyPerPacket.Microjoules()))
+	}
+	tbl.Series = append(tbl.Series, series)
+	return tbl, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"bulktx/internal/metrics"
+)
+
+// Runner regenerates one paper artifact at the given scale.
+type Runner func(Scale) (metrics.Table, error)
+
+// Registry maps experiment names to runners. Analytic artifacts ignore
+// the scale.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1": func(Scale) (metrics.Table, error) { return Table1(), nil },
+		"fig1":   func(Scale) (metrics.Table, error) { return Fig1() },
+		"fig2":   func(Scale) (metrics.Table, error) { return Fig2() },
+		"fig3":   func(Scale) (metrics.Table, error) { return Fig3() },
+		"fig4":   func(Scale) (metrics.Table, error) { return Fig4() },
+		"fig5":   Fig5,
+		"fig6":   Fig6,
+		"fig7":   Fig7,
+		"fig8":   Fig8,
+		"fig9":   Fig9,
+		"fig10":  Fig10,
+		"fig11":  func(Scale) (metrics.Table, error) { return Fig11() },
+		"fig12":  func(Scale) (metrics.Table, error) { return Fig12() },
+
+		"ablation-shortcut":   AblationShortcut,
+		"ablation-linger":     AblationLinger,
+		"ablation-mingrant":   AblationMinGrant,
+		"ablation-loss":       AblationLoss,
+		"ablation-adaptive":   AblationAdaptive,
+		"ablation-delaybound": AblationDelayBound,
+	}
+}
+
+// Names returns the registry keys in stable order.
+func Names() []string {
+	reg := Registry()
+	names := make([]string, 0, len(reg))
+	for name := range reg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run looks up and executes one experiment by name.
+func Run(name string, s Scale) (metrics.Table, error) {
+	runner, ok := Registry()[name]
+	if !ok {
+		return metrics.Table{}, fmt.Errorf("experiments: unknown experiment %q (have %v)",
+			name, Names())
+	}
+	return runner(s)
+}

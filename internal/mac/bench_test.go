@@ -1,0 +1,48 @@
+package mac
+
+import (
+	"testing"
+
+	"bulktx/internal/energy"
+	"bulktx/internal/radio"
+	"bulktx/internal/sim"
+	"bulktx/internal/topo"
+)
+
+// BenchmarkUnicastExchange measures a full data+ack MAC exchange between
+// two nodes, including carrier sensing, DIFS deferral and timers.
+func BenchmarkUnicastExchange(b *testing.B) {
+	sched := sim.NewScheduler(1)
+	layout, err := topo.Line(2, 30)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch, err := radio.NewChannel(sched, radio.Config{
+		Name: "sensor", Profile: energy.Micaz(), HeaderSize: 11,
+	}, layout)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ms [2]*MAC
+	for i := 0; i < 2; i++ {
+		x, err := ch.Attach(radio.NodeID(i), radio.OverhearFree, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ms[i], err = New(SensorParams(), sched, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+	got := 0
+	ms[1].SetOnReceive(func(radio.Frame) { got++ })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := ms[0].Send(radio.Frame{Kind: radio.KindData, Dst: 1, Size: 43}); err != nil {
+			b.Fatal(err)
+		}
+		sched.Run()
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d/%d", got, b.N)
+	}
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"bulktx/internal/units"
+)
+
+func TestGoodput(t *testing.T) {
+	tests := []struct {
+		name string
+		r    RunResult
+		want float64
+	}{
+		{"perfect", RunResult{GeneratedBits: 1000, DeliveredBits: 1000}, 1},
+		{"half", RunResult{GeneratedBits: 1000, DeliveredBits: 500}, 0.5},
+		{"nothing generated", RunResult{}, 0},
+		{"nothing delivered", RunResult{GeneratedBits: 10}, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.r.Goodput(); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Goodput = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestNormalizedEnergy(t *testing.T) {
+	r := RunResult{DeliveredBits: 2000, TotalEnergy: 4 * units.Joule}
+	// 4 J over 2 Kbit = 2 J/Kbit.
+	if got := r.NormalizedEnergy(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("NormalizedEnergy = %v, want 2", got)
+	}
+	inf := RunResult{TotalEnergy: 1}
+	if got := inf.NormalizedEnergy(); !math.IsInf(got, 1) {
+		t.Errorf("NormalizedEnergy with zero delivery = %v, want +Inf", got)
+	}
+	zero := RunResult{}
+	if got := zero.NormalizedEnergy(); got != 0 {
+		t.Errorf("NormalizedEnergy all-zero = %v, want 0", got)
+	}
+}
+
+func TestMeanDelay(t *testing.T) {
+	r := RunResult{Delays: []time.Duration{time.Second, 3 * time.Second}}
+	if got := r.MeanDelay(); got != 2*time.Second {
+		t.Errorf("MeanDelay = %v, want 2s", got)
+	}
+	if got := (RunResult{}).MeanDelay(); got != 0 {
+		t.Errorf("empty MeanDelay = %v, want 0", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(s.Mean-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	// Sample stddev = sqrt(32/7) ≈ 2.1381; CI = 1.96*stddev/sqrt(8).
+	wantCI := 1.96 * math.Sqrt(32.0/7.0) / math.Sqrt(8)
+	if math.Abs(s.CI95-wantCI) > 1e-9 {
+		t.Errorf("CI95 = %v, want %v", s.CI95, wantCI)
+	}
+	if s.N != 8 {
+		t.Errorf("N = %d, want 8", s.N)
+	}
+}
+
+func TestSummarizeEdges(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Errorf("Summarize(nil) = %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.CI95 != 0 || s.N != 1 {
+		t.Errorf("Summarize single = %+v", s)
+	}
+}
+
+// Property: identical samples give zero-width intervals; the mean lies
+// within [min, max].
+func TestSummarizeProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		clean := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		lo, hi := clean[0], clean[0]
+		for _, v := range clean {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		return s.Mean >= lo-1e-9 && s.Mean <= hi+1e-9 && s.CI95 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summary{Mean: 0.5, CI95: 0.01}
+	if got := s.String(); got != "0.5000 ± 0.0100" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:  "Figure X: demo",
+		XLabel: "senders",
+		YLabel: "goodput",
+		Series: []Series{
+			{
+				Label: "DualRadio-500",
+				X:     []float64{5, 10},
+				Y:     []Summary{{Mean: 0.9, CI95: 0.02}, {Mean: 0.8, CI95: 0.03}},
+			},
+			{
+				Label: "Sensor",
+				X:     []float64{5},
+				Y:     []Summary{{Mean: 0.7, CI95: 0.05}},
+			},
+		},
+	}
+	out := tbl.Render()
+	for _, want := range []string{"Figure X: demo", "DualRadio-500", "Sensor", "goodput"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 2 comment lines + header + 2 x rows.
+	if len(lines) != 5 {
+		t.Errorf("Render produced %d lines, want 5:\n%s", len(lines), out)
+	}
+	// The x=10 row must have a blank cell for the Sensor series.
+	if !strings.Contains(lines[4], "0.8") {
+		t.Errorf("x=10 row wrong: %q", lines[4])
+	}
+}

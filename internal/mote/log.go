@@ -1,0 +1,178 @@
+package mote
+
+import (
+	"fmt"
+
+	"bulktx/internal/energy"
+	"bulktx/internal/radio"
+	"bulktx/internal/sim"
+	"bulktx/internal/units"
+)
+
+// RadioKind distinguishes the two radios in log entries.
+type RadioKind int
+
+// Radio kinds.
+const (
+	// RadioSensor is the CC2420-class low-power radio.
+	RadioSensor RadioKind = iota + 1
+	// RadioWifi is the emulated IEEE 802.11 radio.
+	RadioWifi
+)
+
+// String names the radio kind.
+func (k RadioKind) String() string {
+	switch k {
+	case RadioSensor:
+		return "sensor"
+	case RadioWifi:
+		return "wifi"
+	default:
+		return fmt.Sprintf("RadioKind(%d)", int(k))
+	}
+}
+
+// Entry is one logged radio event: which node, which radio, what
+// happened, when, and the frame size for tx/rx events.
+type Entry struct {
+	Node  int
+	Radio RadioKind
+	Event radio.EventKind
+	At    sim.Time
+	Size  units.ByteSize
+}
+
+// Log is a time-ordered event log (events are appended in simulation
+// order, which is already time-ordered).
+type Log []Entry
+
+// Logger collects transceiver events across nodes and radios.
+type Logger struct {
+	sched   *sim.Scheduler
+	entries Log
+}
+
+// NewLogger builds an empty logger.
+func NewLogger(sched *sim.Scheduler) *Logger {
+	return &Logger{sched: sched}
+}
+
+// Observer returns a transceiver observer that records into the log
+// under the given node and radio labels.
+func (l *Logger) Observer(node int, kind RadioKind) func(radio.Event) {
+	return func(ev radio.Event) {
+		l.entries = append(l.entries, Entry{
+			Node:  node,
+			Radio: kind,
+			Event: ev.Kind,
+			At:    ev.At,
+			Size:  ev.Size,
+		})
+	}
+}
+
+// Events returns the collected log.
+func (l *Logger) Events() Log {
+	out := make(Log, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Energy reconstructs total energy from the log, the way the paper
+// post-processed its TinyOS logs:
+//
+//   - sensor radio: tx/rx airtime at the profile's tx/rx draws (idle is a
+//     base cost, not charged — matching the evaluation's sensor model);
+//   - 802.11 radio: fixed wake-up energy per wake-up, tx/rx airtime at
+//     tx/rx draws, and everything else between power-on and power-off
+//     charged as idle.
+func (g Log) Energy(sensor, wifi energy.Profile) units.Energy {
+	type radioKey struct {
+		node  int
+		radio RadioKind
+	}
+	type radioState struct {
+		onSince    sim.Time
+		on         bool
+		activeFrom sim.Time // current tx/rx start
+		busyTime   sim.Time // accumulated tx+rx residency this power cycle
+		depth      int      // nested tx/rx (overlapping rx while tx impossible, but rx can overlap rx)
+	}
+	var total units.Energy
+	states := make(map[radioKey]*radioState)
+	get := func(e Entry) *radioState {
+		k := radioKey{e.Node, e.Radio}
+		st, ok := states[k]
+		if !ok {
+			st = &radioState{}
+			// Sensor radios are never power-cycled: treat them as on from
+			// the start for busy-time bookkeeping.
+			if e.Radio == RadioSensor {
+				st.on = true
+			}
+			states[k] = st
+		}
+		return st
+	}
+	profileOf := func(k RadioKind) energy.Profile {
+		if k == RadioSensor {
+			return sensor
+		}
+		return wifi
+	}
+
+	for _, e := range g {
+		st := get(e)
+		p := profileOf(e.Radio)
+		switch e.Event {
+		case radio.EventWakeupStart:
+			total += p.Wakeup
+			st.onSince = e.At
+			st.busyTime = 0
+		case radio.EventPowerOn:
+			st.on = true
+		case radio.EventPowerOff:
+			if e.Radio == RadioWifi {
+				// Idle = on-interval minus tx/rx residency.
+				onFor := e.At - st.onSince
+				idle := onFor - st.busyTime
+				if idle > 0 {
+					total += p.Idle.Over(idle)
+				}
+			}
+			st.on = false
+			st.busyTime = 0
+			st.depth = 0
+		case radio.EventTxStart, radio.EventRxStart:
+			if st.depth == 0 {
+				st.activeFrom = e.At
+			}
+			st.depth++
+		case radio.EventTxEnd, radio.EventRxEnd:
+			if st.depth > 0 {
+				st.depth--
+				if st.depth == 0 {
+					st.busyTime += e.At - st.activeFrom
+				}
+			}
+			airtime := p.Rate.TimeFor(e.Size)
+			if e.Event == radio.EventTxEnd {
+				total += p.Tx.Over(airtime)
+			} else {
+				total += p.Rx.Over(airtime)
+			}
+		}
+	}
+	return total
+}
+
+// WakeupCount returns the number of wake-ups of one radio kind.
+func (g Log) WakeupCount(kind RadioKind) int {
+	n := 0
+	for _, e := range g {
+		if e.Radio == kind && e.Event == radio.EventWakeupStart {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,215 @@
+package mote
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bulktx/internal/radio"
+	"bulktx/internal/units"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig(2000)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"threshold below message", func(c *Config) { c.Threshold = 16 }},
+		{"zero messages", func(c *Config) { c.Messages = 0 }},
+		{"zero size", func(c *Config) { c.MessageSize = 0 }},
+		{"zero interval", func(c *Config) { c.Interval = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := good
+			tt.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("Validate accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestAllMessagesDelivered(t *testing.T) {
+	cfg := DefaultConfig(2000)
+	cfg.Messages = 200
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 200 {
+		t.Errorf("delivered %d/200", res.Delivered)
+	}
+}
+
+func TestLogEnergyMatchesMeters(t *testing.T) {
+	// The log-driven energy reconstruction (the paper's methodology) must
+	// agree with the simulator's ground-truth meters.
+	cfg := DefaultConfig(1500)
+	cfg.Messages = 300
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTotal := res.DualEnergyPerPacket.Joules() * float64(res.Delivered)
+	meter := res.MeterEnergy.Joules()
+	if meter == 0 {
+		t.Fatal("meter energy zero")
+	}
+	if rel := math.Abs(logTotal-meter) / meter; rel > 0.01 {
+		t.Errorf("log energy %.6f J vs meter %.6f J: %.2f%% apart",
+			logTotal, meter, rel*100)
+	}
+}
+
+func TestPaperShapeFig11(t *testing.T) {
+	// Figure 11: dual-radio energy per packet drops sharply as the
+	// threshold grows, crosses the flat sensor-radio line, and flattens;
+	// the sensor line does not move.
+	// The paper's full 500-message runs: shorter runs leave a flush
+	// remainder that distorts the average at large thresholds.
+	thresholds := []units.ByteSize{500, 1000, 2000, 4000}
+	var dual []float64
+	var sensorLine []float64
+	for _, th := range thresholds {
+		cfg := DefaultConfig(th)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dual = append(dual, res.DualEnergyPerPacket.Microjoules())
+		sensorLine = append(sensorLine, res.SensorEnergyPerPacket.Microjoules())
+	}
+	// Dual decreases (strictly across this coarse sweep).
+	for i := 1; i < len(dual); i++ {
+		if dual[i] >= dual[i-1] {
+			t.Errorf("dual energy/packet not decreasing: %v", dual)
+			break
+		}
+	}
+	// Sensor is flat.
+	for i := 1; i < len(sensorLine); i++ {
+		if math.Abs(sensorLine[i]-sensorLine[0]) > 1e-6 {
+			t.Errorf("sensor energy/packet not flat: %v", sensorLine)
+			break
+		}
+	}
+	// Crossover: above the sensor line at 500 B, below at 4000 B.
+	if dual[0] <= sensorLine[0] {
+		t.Errorf("dual %v µJ below sensor %v µJ at 500 B (should not cross yet)",
+			dual[0], sensorLine[0])
+	}
+	if dual[len(dual)-1] >= sensorLine[0] {
+		t.Errorf("dual %v µJ above sensor %v µJ at 4000 B (should have crossed)",
+			dual[len(dual)-1], sensorLine[0])
+	}
+	// The rate of decrease diminishes past the break-even point (the
+	// paper's diminishing-returns observation).
+	drop1 := dual[0] - dual[1]
+	drop3 := dual[2] - dual[3]
+	if drop3 >= drop1 {
+		t.Errorf("energy drop not diminishing: first %v, last %v", drop1, drop3)
+	}
+}
+
+func TestPaperShapeFig12DelayTradeoff(t *testing.T) {
+	// Figure 12: delay per packet grows with the threshold while energy
+	// per packet falls; past a region, more delay buys little energy.
+	var prevDelay time.Duration
+	var prevEnergy float64 = math.Inf(1)
+	for _, th := range []units.ByteSize{500, 1500, 3000} {
+		cfg := DefaultConfig(th)
+		cfg.Messages = 300
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MeanDelayPerPacket <= prevDelay {
+			t.Errorf("delay %v at threshold %v not above previous %v",
+				res.MeanDelayPerPacket, th, prevDelay)
+		}
+		if res.DualEnergyPerPacket.Microjoules() >= prevEnergy {
+			t.Errorf("energy %v at threshold %v not below previous %v",
+				res.DualEnergyPerPacket.Microjoules(), th, prevEnergy)
+		}
+		prevDelay = res.MeanDelayPerPacket
+		prevEnergy = res.DualEnergyPerPacket.Microjoules()
+	}
+}
+
+func TestWakeupsScaleInversely(t *testing.T) {
+	// Doubling the threshold halves the number of wake-up cycles.
+	small, err := Run(DefaultConfig(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(DefaultConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, wl := small.Log.WakeupCount(RadioWifi), large.Log.WakeupCount(RadioWifi)
+	if wl*2 != ws {
+		t.Errorf("wakeups %d (1000 B) vs %d (2000 B): want exact halving", ws, wl)
+	}
+}
+
+func TestLogOrderedAndPaired(t *testing.T) {
+	cfg := DefaultConfig(1000)
+	cfg.Messages = 100
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Log) == 0 {
+		t.Fatal("empty log")
+	}
+	var prev Entry
+	starts := make(map[[2]int]int) // (node, radio) -> outstanding tx/rx starts
+	for i, e := range res.Log {
+		if i > 0 && e.At < prev.At {
+			t.Fatalf("log out of order at %d: %v after %v", i, e.At, prev.At)
+		}
+		prev = e
+		k := [2]int{e.Node, int(e.Radio)}
+		switch e.Event {
+		case radio.EventTxStart, radio.EventRxStart:
+			starts[k]++
+		case radio.EventTxEnd, radio.EventRxEnd:
+			starts[k]--
+			if starts[k] < 0 {
+				t.Fatalf("unpaired end event at %d for %v", i, k)
+			}
+		}
+	}
+}
+
+func TestRadioKindString(t *testing.T) {
+	if RadioSensor.String() != "sensor" || RadioWifi.String() != "wifi" {
+		t.Error("radio kind names wrong")
+	}
+	if RadioKind(8).String() != "RadioKind(8)" {
+		t.Error("unknown radio kind name wrong")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := map[radio.EventKind]string{
+		radio.EventWakeupStart: "wakeup-start",
+		radio.EventPowerOn:     "power-on",
+		radio.EventPowerOff:    "power-off",
+		radio.EventTxStart:     "tx-start",
+		radio.EventTxEnd:       "tx-end",
+		radio.EventRxStart:     "rx-start",
+		radio.EventRxEnd:       "rx-end",
+		radio.EventKind(99):    "EventKind(99)",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("EventKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

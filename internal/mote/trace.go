@@ -1,0 +1,95 @@
+package mote
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"bulktx/internal/radio"
+	"bulktx/internal/units"
+)
+
+// traceRecord is the JSON-lines wire form of one log entry, mirroring
+// how the paper's prototype persisted its TinyOS event logs for offline
+// energy computation.
+type traceRecord struct {
+	Node      int    `json:"node"`
+	Radio     string `json:"radio"`
+	Event     string `json:"event"`
+	AtMicros  int64  `json:"atMicros"`
+	SizeBytes int64  `json:"sizeBytes,omitempty"`
+}
+
+// WriteTrace streams the log as JSON lines.
+func (g Log) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, e := range g {
+		rec := traceRecord{
+			Node:      e.Node,
+			Radio:     e.Radio.String(),
+			Event:     e.Event.String(),
+			AtMicros:  e.At.Microseconds(),
+			SizeBytes: e.Size.Bytes(),
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("mote: trace entry %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSON-lines trace back into a Log. Radio and event
+// names must match the String() forms produced by WriteTrace.
+func ReadTrace(r io.Reader) (Log, error) {
+	dec := json.NewDecoder(r)
+	var out Log
+	for {
+		var rec traceRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("mote: trace entry %d: %w", len(out), err)
+		}
+		radioKind, err := parseRadioKind(rec.Radio)
+		if err != nil {
+			return nil, fmt.Errorf("mote: trace entry %d: %w", len(out), err)
+		}
+		eventKind, err := parseEventKind(rec.Event)
+		if err != nil {
+			return nil, fmt.Errorf("mote: trace entry %d: %w", len(out), err)
+		}
+		out = append(out, Entry{
+			Node:  rec.Node,
+			Radio: radioKind,
+			Event: eventKind,
+			At:    time.Duration(rec.AtMicros) * time.Microsecond,
+			Size:  units.ByteSize(rec.SizeBytes),
+		})
+	}
+	return out, nil
+}
+
+func parseRadioKind(s string) (RadioKind, error) {
+	for _, k := range []RadioKind{RadioSensor, RadioWifi} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown radio kind %q", s)
+}
+
+func parseEventKind(s string) (radio.EventKind, error) {
+	kinds := []radio.EventKind{
+		radio.EventWakeupStart, radio.EventPowerOn, radio.EventPowerOff,
+		radio.EventTxStart, radio.EventTxEnd, radio.EventRxStart, radio.EventRxEnd,
+	}
+	for _, k := range kinds {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown event kind %q", s)
+}

@@ -1,0 +1,72 @@
+package mote
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(1500)
+	cfg.Messages = 100
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Log) == 0 {
+		t.Fatal("empty log")
+	}
+	var buf bytes.Buffer
+	if err := res.Log.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Log) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(res.Log))
+	}
+	for i := range back {
+		a, b := res.Log[i], back[i]
+		// Microsecond truncation of At is the only permitted difference.
+		if a.Node != b.Node || a.Radio != b.Radio || a.Event != b.Event || a.Size != b.Size {
+			t.Fatalf("entry %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if d := a.At - b.At; d < 0 || d >= 1000 {
+			t.Fatalf("entry %d time drift %v", i, d)
+		}
+	}
+	// The reconstructed log computes the same energy (timestamps enter
+	// only through idle intervals; sub-microsecond truncation is
+	// negligible at milliwatt draws).
+	orig := res.Log.Energy(cfg.SensorProfile, cfg.WifiProfile).Joules()
+	rt := back.Energy(cfg.SensorProfile, cfg.WifiProfile).Joules()
+	if rel := (orig - rt) / orig; rel > 1e-3 || rel < -1e-3 {
+		t.Errorf("energy drift through trace: %.6f vs %.6f", orig, rt)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(
+		`{"node":0,"radio":"laser","event":"tx-start","atMicros":1}` + "\n")); err == nil {
+		t.Error("unknown radio accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader(
+		`{"node":0,"radio":"wifi","event":"warp","atMicros":1}` + "\n")); err == nil {
+		t.Error("unknown event accepted")
+	}
+}
+
+func TestReadTraceEmpty(t *testing.T) {
+	log, err := ReadTrace(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log) != 0 {
+		t.Errorf("empty input produced %d entries", len(log))
+	}
+}

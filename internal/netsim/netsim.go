@@ -1,0 +1,277 @@
+// Package netsim assembles full-network simulations of the paper's three
+// evaluation models (Section 4.1):
+//
+//   - Sensor: a pure sensor network forwarding every packet hop-by-hop
+//     over the low-power radio. Charged under two policies at once: the
+//     ideal model (tx/rx only) and the header model (plus header
+//     overhearing); idle is a base cost and ignored, as in the paper.
+//   - Wifi: a pure IEEE 802.11 network with always-on radios, charged in
+//     full (including idling).
+//   - Dual: BCP over both radios — control on the sensor radio, bulk
+//     data on the 802.11 radio, which is fully charged (tx, rx, idle,
+//     wake-up, overhearing).
+//
+// The default scenario is the paper's: a 6x6 grid over 200x200 m, a
+// near-center sink, N CBR senders, 5000 s runs.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bulktx/internal/core"
+	"bulktx/internal/energy"
+	"bulktx/internal/metrics"
+	"bulktx/internal/params"
+	"bulktx/internal/radio"
+	"bulktx/internal/topo"
+	"bulktx/internal/units"
+)
+
+// Model selects the evaluation model.
+type Model int
+
+// Evaluation models.
+const (
+	// ModelSensor is the pure sensor network.
+	ModelSensor Model = iota + 1
+	// ModelWifi is the pure 802.11 network with always-on radios.
+	ModelWifi
+	// ModelDual is BCP over the dual-radio platform.
+	ModelDual
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case ModelSensor:
+		return "sensor"
+	case ModelWifi:
+		return "802.11"
+	case ModelDual:
+		return "dual-radio"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// senderPermSeed fixes the sender-selection shuffle independently of the
+// run seed so that the 5-sender set is a subset of the 10-sender set and
+// both are identical across repetitions.
+const senderPermSeed = 0xBEEF
+
+// Traffic selects the arrival process of the senders.
+type Traffic int
+
+// Traffic models.
+const (
+	// TrafficCBR is the paper's constant-bit-rate workload (default).
+	TrafficCBR Traffic = iota
+	// TrafficPoisson uses exponentially distributed inter-arrivals at
+	// the same mean rate.
+	TrafficPoisson
+	// TrafficOnOff alternates peak-rate bursts (mean 2 s ON) with
+	// silences sized to preserve the configured mean rate — the shape of
+	// event-triggered acoustic capture.
+	TrafficOnOff
+)
+
+// String names the traffic model.
+func (t Traffic) String() string {
+	switch t {
+	case TrafficCBR:
+		return "cbr"
+	case TrafficPoisson:
+		return "poisson"
+	case TrafficOnOff:
+		return "onoff"
+	default:
+		return fmt.Sprintf("Traffic(%d)", int(t))
+	}
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Model selects sensor / 802.11 / dual-radio.
+	Model Model
+
+	// Nodes and Field define the grid (paper: 36 over 200 m).
+	Nodes int
+	Field units.Meters
+
+	// Sink is the collection node index; negative selects the default
+	// near-center node.
+	Sink int
+
+	// Senders is how many nodes stream CBR traffic to the sink (5-35).
+	Senders int
+
+	// Rate is the per-sender application rate (0.2 or 2 Kbps).
+	Rate units.BitRate
+
+	// Traffic selects the arrival process (default CBR, as in the paper).
+	Traffic Traffic
+
+	// Duration is the simulated time (paper: 5000 s).
+	Duration time.Duration
+
+	// BurstPackets is the dual-radio alpha-s* threshold in sensor packets
+	// (10/100/500/1000/2500).
+	BurstPackets int
+
+	// Seed drives all randomness of the run.
+	Seed int64
+
+	// SensorProfile and WifiProfile pick the radios (default Micaz and,
+	// for the single-hop case, Lucent 11 Mbps).
+	SensorProfile, WifiProfile energy.Profile
+
+	// WifiRange overrides the wifi profile range (the paper gives Lucent
+	// 11 Mbps the sensor radio's 40 m range).
+	WifiRange units.Meters
+
+	// SensorLoss injects random frame loss on the sensor channel.
+	SensorLoss float64
+
+	// WifiLoss injects random frame loss on the 802.11 channel.
+	WifiLoss float64
+
+	// PostBurstLinger keeps dual-model radios idling after bursts
+	// (Figure 4's "idle" scenario; zero = immediate shutdown).
+	PostBurstLinger time.Duration
+
+	// UseShortcutLearner routes the dual model's bursts over sensor-tree
+	// next hops upgraded by shortcut learning instead of a wifi tree
+	// (Section 3 route optimization; an ablation in this codebase).
+	UseShortcutLearner bool
+
+	// MinGrantPackets enables the paper's give-up extension: grants below
+	// this many packets abort the handshake.
+	MinGrantPackets int
+
+	// AdaptiveThresholdAlpha enables the adaptive-s* extension (paper
+	// future work) with the given alpha when positive: agents recompute
+	// their thresholds from observed retransmissions after every burst.
+	AdaptiveThresholdAlpha float64
+
+	// DelayBound enables the delay-constrained extension (paper future
+	// work): buffered packets older than this are sent over the
+	// low-power radio. Zero disables.
+	DelayBound time.Duration
+}
+
+// DefaultConfig returns the paper's scenario for a model, sender count,
+// burst size and seed.
+func DefaultConfig(model Model, senders, burstPackets int, seed int64) Config {
+	return Config{
+		Model:         model,
+		Nodes:         params.GridNodes,
+		Field:         params.FieldSize,
+		Sink:          -1,
+		Senders:       senders,
+		Rate:          params.LowRate,
+		Duration:      params.SimDuration,
+		BurstPackets:  burstPackets,
+		Seed:          seed,
+		SensorProfile: energy.Micaz(),
+		WifiProfile:   energy.Lucent11(),
+		WifiRange:     params.WifiShortRange,
+	}
+}
+
+// MultiHopConfig returns the paper's multi-hop scenario: Cabletron
+// reaching the sink in one hop.
+func MultiHopConfig(senders, burstPackets int, seed int64) Config {
+	cfg := DefaultConfig(ModelDual, senders, burstPackets, seed)
+	cfg.WifiProfile = energy.Cabletron()
+	cfg.WifiRange = params.WifiLongRange
+	cfg.Rate = params.HighRate
+	return cfg
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.Model < ModelSensor || c.Model > ModelDual:
+		return fmt.Errorf("netsim: invalid model %d", int(c.Model))
+	case c.Nodes < 2:
+		return fmt.Errorf("netsim: need at least 2 nodes, got %d", c.Nodes)
+	case c.Field <= 0:
+		return fmt.Errorf("netsim: non-positive field %v", c.Field)
+	case c.Senders < 1 || c.Senders >= c.Nodes:
+		return fmt.Errorf("netsim: senders %d outside [1, %d)", c.Senders, c.Nodes)
+	case c.Rate <= 0:
+		return fmt.Errorf("netsim: non-positive rate %v", c.Rate)
+	case c.Duration <= 0:
+		return fmt.Errorf("netsim: non-positive duration %v", c.Duration)
+	case c.Model == ModelDual && c.BurstPackets < 1:
+		return fmt.Errorf("netsim: dual model needs positive burst size")
+	case c.SensorLoss < 0 || c.SensorLoss >= 1 || c.WifiLoss < 0 || c.WifiLoss >= 1:
+		return fmt.Errorf("netsim: loss probabilities outside [0,1)")
+	case c.MinGrantPackets < 0:
+		return fmt.Errorf("netsim: negative min grant")
+	case c.AdaptiveThresholdAlpha < 0:
+		return fmt.Errorf("netsim: negative adaptive alpha")
+	case c.DelayBound < 0:
+		return fmt.Errorf("netsim: negative delay bound")
+	case c.Traffic < TrafficCBR || c.Traffic > TrafficOnOff:
+		return fmt.Errorf("netsim: invalid traffic model %d", int(c.Traffic))
+	}
+	return nil
+}
+
+// Result carries one run's outcomes.
+type Result struct {
+	// RunResult holds the metric inputs (TotalEnergy follows the model's
+	// charging policy; for the sensor model it is the header-model total).
+	metrics.RunResult
+	// IdealEnergy is the sensor model's total without overhearing
+	// charges (equal to TotalEnergy for other models).
+	IdealEnergy units.Energy
+	// SensorStats and WifiStats are channel-level counters.
+	SensorStats, WifiStats radio.Stats
+	// AgentStats aggregates BCP counters across nodes (dual model only).
+	AgentStats core.Stats
+	// Events counts scheduler events processed.
+	Events uint64
+}
+
+// defaultSink picks the node closest to the field center, matching the
+// paper's requirement that the long-range radio reach the sink in one
+// hop from everywhere.
+func defaultSink(layout *topo.Layout) int {
+	cx := units.Meters(0)
+	cy := units.Meters(0)
+	for i := 0; i < layout.Len(); i++ {
+		p := layout.Position(i)
+		cx += p.X / units.Meters(float64(layout.Len()))
+		cy += p.Y / units.Meters(float64(layout.Len()))
+	}
+	center := topo.Position{X: cx, Y: cy}
+	best, bestD := 0, units.Meters(-1)
+	for i := 0; i < layout.Len(); i++ {
+		d := topo.Distance(layout.Position(i), center)
+		if bestD < 0 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// pickSenders returns the stable pseudo-random sender subset of size n
+// excluding the sink.
+func pickSenders(nodes, sink, n int) []int {
+	perm := rand.New(rand.NewSource(senderPermSeed)).Perm(nodes)
+	senders := make([]int, 0, n)
+	for _, v := range perm {
+		if v == sink {
+			continue
+		}
+		senders = append(senders, v)
+		if len(senders) == n {
+			break
+		}
+	}
+	return senders
+}

@@ -1,0 +1,494 @@
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"bulktx/internal/core"
+	"bulktx/internal/energy"
+	"bulktx/internal/mac"
+	"bulktx/internal/metrics"
+	"bulktx/internal/params"
+	"bulktx/internal/radio"
+	"bulktx/internal/routing"
+	"bulktx/internal/sim"
+	"bulktx/internal/topo"
+	"bulktx/internal/units"
+	"bulktx/internal/workload"
+)
+
+// forwarder is the send-immediately data plane of the two baseline
+// models: packets hop along the routing tree with no buffering beyond
+// the MAC queue.
+type forwarder struct {
+	id        int
+	m         *mac.MAC
+	tree      *routing.Tree
+	header    units.ByteSize
+	onDeliver func(core.Packet)
+}
+
+func newForwarder(
+	id int,
+	m *mac.MAC,
+	tree *routing.Tree,
+	header units.ByteSize,
+	onDeliver func(core.Packet),
+) *forwarder {
+	f := &forwarder{id: id, m: m, tree: tree, header: header, onDeliver: onDeliver}
+	m.SetOnReceive(f.receive)
+	return f
+}
+
+// submit routes one packet: deliver locally or send to the next hop.
+func (f *forwarder) submit(p core.Packet) {
+	if p.Dst == f.id {
+		if f.onDeliver != nil {
+			f.onDeliver(p)
+		}
+		return
+	}
+	nh, ok := f.tree.NextHop(f.id)
+	if !ok {
+		return // disconnected: packet lost
+	}
+	frame := radio.Frame{
+		Kind:    radio.KindData,
+		Dst:     radio.NodeID(nh),
+		Size:    p.Size + f.header,
+		Payload: p,
+	}
+	// Queue overflow is the model's loss mechanism under contention; the
+	// MAC counts the drop.
+	_ = f.m.Send(frame)
+}
+
+func (f *forwarder) receive(frame radio.Frame) {
+	p, ok := frame.Payload.(core.Packet)
+	if !ok {
+		return
+	}
+	f.submit(p)
+}
+
+// Run executes one simulation and returns its outcomes.
+func Run(cfg Config) (Result, error) {
+	return runInstrumented(cfg, nil)
+}
+
+// runInstrumented is Run with an optional per-node wifi meter probe.
+func runInstrumented(cfg Config, probe func(i int, wifi *energy.Meter, on bool)) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	sched := sim.NewScheduler(cfg.Seed)
+	layout, err := topo.Grid(cfg.Nodes, cfg.Field)
+	if err != nil {
+		return Result{}, err
+	}
+	sink := cfg.Sink
+	if sink < 0 {
+		sink = defaultSink(layout)
+	}
+	if sink >= layout.Len() {
+		return Result{}, fmt.Errorf("netsim: sink %d outside layout", sink)
+	}
+
+	recorder := workload.NewRecorder(sched)
+	var (
+		res     Result
+		emit    []func(core.Packet) // per-node packet entry point
+		sensorM []*mac.MAC
+		wifiM   []*mac.MAC
+		agents  []*core.Agent
+	)
+
+	switch cfg.Model {
+	case ModelSensor:
+		sensorM, emit, err = buildSensorModel(cfg, sched, layout, sink, recorder)
+	case ModelWifi:
+		wifiM, emit, err = buildWifiModel(cfg, sched, layout, sink, recorder)
+	case ModelDual:
+		sensorM, wifiM, agents, emit, err = buildDualModel(cfg, sched, layout, sink, recorder)
+	default:
+		err = fmt.Errorf("netsim: unhandled model %v", cfg.Model)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Workload: senders toward the sink. Dual-model CBR senders stagger
+	// their start across one burst-accumulation interval so threshold
+	// crossings do not synchronize into an artificial burst storm (the
+	// random processes desynchronize naturally).
+	var startWindow time.Duration
+	if cfg.Model == ModelDual {
+		period := time.Duration(float64(params.SensorPayload.Bits()) /
+			cfg.Rate.BitsPerSecond() * float64(time.Second))
+		startWindow = period * time.Duration(cfg.BurstPackets)
+	}
+	var generators []source
+	for _, s := range pickSenders(cfg.Nodes, sink, cfg.Senders) {
+		g, err := newSource(cfg, sched, s, sink, startWindow, emit[s])
+		if err != nil {
+			return Result{}, err
+		}
+		generators = append(generators, g)
+	}
+
+	sched.RunUntil(cfg.Duration)
+	for _, g := range generators {
+		g.Stop()
+	}
+
+	// Collect metrics.
+	for _, g := range generators {
+		_, bits := g.Generated()
+		res.GeneratedBits += bits
+	}
+	res.DeliveredBits = recorder.DeliveredBits()
+	res.Delays = recorder.Delays()
+	res.Events = sched.Processed
+
+	var overhear units.Energy
+	for _, m := range sensorM {
+		by := m.Transceiver().Meter().ByState()
+		for state, e := range by {
+			if state == energy.Overhear {
+				overhear += e
+			}
+			res.TotalEnergy += e
+		}
+		addStats := m.Transceiver().Channel().Stats()
+		res.SensorStats = addStats
+	}
+	for _, m := range wifiM {
+		res.TotalEnergy += m.Transceiver().Meter().Total()
+		res.WifiStats = m.Transceiver().Channel().Stats()
+	}
+	res.IdealEnergy = res.TotalEnergy - overhear
+	for _, a := range agents {
+		res.AgentStats = addAgentStats(res.AgentStats, a.Stats())
+	}
+	if probe != nil {
+		for i, m := range wifiM {
+			x := m.Transceiver()
+			probe(i, x.Meter(), x.On() || x.Waking())
+		}
+	}
+	return res, nil
+}
+
+// buildSensorModel attaches only sensor radios with hop-by-hop
+// forwarding. Idle is free (a base cost, per the paper); overhearing is
+// charged into the Overhear ledger so both Sensor-ideal and
+// Sensor-header totals come out of one run.
+func buildSensorModel(
+	cfg Config,
+	sched *sim.Scheduler,
+	layout *topo.Layout,
+	sink int,
+	recorder *workload.Recorder,
+) ([]*mac.MAC, []func(core.Packet), error) {
+	ch, err := radio.NewChannel(sched, radio.Config{
+		Name:       "sensor",
+		Profile:    cfg.SensorProfile,
+		LossProb:   cfg.SensorLoss,
+		HeaderSize: params.SensorHeader,
+	}, layout)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := routing.BuildTree(layout, sink, cfg.SensorProfile.Range)
+	if err != nil {
+		return nil, nil, err
+	}
+	macs := make([]*mac.MAC, cfg.Nodes)
+	emit := make([]func(core.Packet), cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		x, err := ch.Attach(radio.NodeID(i), radio.OverhearHeaderOnly, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		x.Meter().SetFreeState(energy.Idle, true)
+		m, err := mac.New(mac.SensorParams(), sched, x)
+		if err != nil {
+			return nil, nil, err
+		}
+		macs[i] = m
+		var deliver func(core.Packet)
+		if i == sink {
+			deliver = recorder.Receive
+		}
+		f := newForwarder(i, m, tree, params.SensorHeader, deliver)
+		emit[i] = f.submit
+	}
+	return macs, emit, nil
+}
+
+// buildWifiModel attaches only 802.11 radios, always on, fully charged.
+func buildWifiModel(
+	cfg Config,
+	sched *sim.Scheduler,
+	layout *topo.Layout,
+	sink int,
+	recorder *workload.Recorder,
+) ([]*mac.MAC, []func(core.Packet), error) {
+	wifiRange := cfg.WifiRange
+	if wifiRange == 0 {
+		wifiRange = cfg.WifiProfile.Range
+	}
+	ch, err := radio.NewChannel(sched, radio.Config{
+		Name:       "wifi",
+		Profile:    cfg.WifiProfile,
+		Range:      wifiRange,
+		LossProb:   cfg.WifiLoss,
+		HeaderSize: params.WifiHeader,
+	}, layout)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree, err := routing.BuildTree(layout, sink, wifiRange)
+	if err != nil {
+		return nil, nil, err
+	}
+	macs := make([]*mac.MAC, cfg.Nodes)
+	emit := make([]func(core.Packet), cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		x, err := ch.Attach(radio.NodeID(i), radio.OverhearFull, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := mac.New(mac.WifiParams(), sched, x)
+		if err != nil {
+			return nil, nil, err
+		}
+		macs[i] = m
+		var deliver func(core.Packet)
+		if i == sink {
+			deliver = recorder.Receive
+		}
+		// The pure-802.11 model sends each sensor packet as its own
+		// (inefficient) small frame, as nodes have no reason to batch.
+		f := newForwarder(i, m, tree, params.WifiHeader, deliver)
+		emit[i] = f.submit
+	}
+	return macs, emit, nil
+}
+
+// buildDualModel attaches both radios and a BCP agent per node.
+func buildDualModel(
+	cfg Config,
+	sched *sim.Scheduler,
+	layout *topo.Layout,
+	sink int,
+	recorder *workload.Recorder,
+) ([]*mac.MAC, []*mac.MAC, []*core.Agent, []func(core.Packet), error) {
+	sensorCh, err := radio.NewChannel(sched, radio.Config{
+		Name:       "sensor",
+		Profile:    cfg.SensorProfile,
+		LossProb:   cfg.SensorLoss,
+		HeaderSize: params.SensorHeader,
+	}, layout)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	wifiRange := cfg.WifiRange
+	if wifiRange == 0 {
+		wifiRange = cfg.WifiProfile.Range
+	}
+	wifiCh, err := radio.NewChannel(sched, radio.Config{
+		Name:          "wifi",
+		Profile:       cfg.WifiProfile,
+		Range:         wifiRange,
+		LossProb:      cfg.WifiLoss,
+		WakeupLatency: params.WifiWakeupLatency,
+		HeaderSize:    params.WifiHeader,
+	}, layout)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+
+	mesh, err := routing.BuildMesh(layout, cfg.SensorProfile.Range)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	var wifiRoute core.NextHopper
+	if cfg.UseShortcutLearner {
+		sensorTree, err := routing.BuildTree(layout, sink, cfg.SensorProfile.Range)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		wifiRoute = routing.NewLearner(sensorTree, layout, wifiRange, true)
+	} else {
+		wifiTree, err := routing.BuildTree(layout, sink, wifiRange)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		wifiRoute = wifiTree
+	}
+	addr := routing.IdentityAddrMap(cfg.Nodes)
+
+	sensorM := make([]*mac.MAC, cfg.Nodes)
+	wifiM := make([]*mac.MAC, cfg.Nodes)
+	agents := make([]*core.Agent, cfg.Nodes)
+	emit := make([]func(core.Packet), cfg.Nodes)
+	for i := 0; i < cfg.Nodes; i++ {
+		sx, err := sensorCh.Attach(radio.NodeID(i), radio.OverhearFree, true)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		sx.Meter().SetFreeState(energy.Idle, true)
+		wx, err := wifiCh.Attach(radio.NodeID(i), radio.OverhearFull, false)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		sm, err := mac.New(mac.SensorParams(), sched, sx)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		wm, err := mac.New(mac.WifiParams(), sched, wx)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		sensorM[i], wifiM[i] = sm, wm
+
+		agentCfg := core.DefaultConfig(i, cfg.BurstPackets)
+		agentCfg.PostBurstLinger = cfg.PostBurstLinger
+		if cfg.MinGrantPackets > 0 {
+			agentCfg.MinGrant = units.ByteSize(cfg.MinGrantPackets) * params.SensorPayload
+		}
+		if cfg.AdaptiveThresholdAlpha > 0 {
+			agentCfg.AdaptiveThreshold = true
+			agentCfg.ThresholdAlpha = cfg.AdaptiveThresholdAlpha
+		}
+		agentCfg.DelayBound = cfg.DelayBound
+		var deliver func(core.Packet)
+		if i == sink {
+			deliver = recorder.Receive
+		}
+		a, err := core.NewAgent(agentCfg, sched, sm, wm, mesh, wifiRoute, addr, deliver)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		agents[i] = a
+		emit[i] = a.Buffer
+	}
+	return sensorM, wifiM, agents, emit, nil
+}
+
+// source is the common surface of the workload generators.
+type source interface {
+	Stop()
+	Generated() (packets uint64, bits int64)
+}
+
+// newSource builds and starts the configured traffic model for one
+// sender.
+func newSource(
+	cfg Config,
+	sched *sim.Scheduler,
+	sender, sink int,
+	startWindow time.Duration,
+	emit func(core.Packet),
+) (source, error) {
+	switch cfg.Traffic {
+	case TrafficPoisson:
+		g, err := workload.NewPoisson(sched, sender, sink, cfg.Rate, params.SensorPayload, emit)
+		if err != nil {
+			return nil, err
+		}
+		g.Start()
+		return g, nil
+	case TrafficOnOff:
+		// Mean 2 s ON at 16x the mean rate; OFF sized so the long-run
+		// average matches cfg.Rate: duty = 1/16 -> meanOff = 15 * meanOn.
+		const burstiness = 16
+		meanOn := 2 * time.Second
+		meanOff := (burstiness - 1) * meanOn
+		g, err := workload.NewOnOff(sched, sender, sink,
+			cfg.Rate*burstiness, params.SensorPayload, meanOn, meanOff, emit)
+		if err != nil {
+			return nil, err
+		}
+		g.Start()
+		return g, nil
+	default:
+		g, err := workload.NewCBR(sched, sender, sink, cfg.Rate, params.SensorPayload, emit)
+		if err != nil {
+			return nil, err
+		}
+		g.StartWithin(startWindow)
+		return g, nil
+	}
+}
+
+func addAgentStats(a, b core.Stats) core.Stats {
+	a.PacketsBuffered += b.PacketsBuffered
+	a.PacketsDropped += b.PacketsDropped
+	a.PacketsDelivered += b.PacketsDelivered
+	a.PacketsForwarded += b.PacketsForwarded
+	a.PacketsLost += b.PacketsLost
+	a.Handshakes += b.Handshakes
+	a.HandshakeFailures += b.HandshakeFailures
+	a.WakeupResends += b.WakeupResends
+	a.GrantsDenied += b.GrantsDenied
+	a.GrantsReduced += b.GrantsReduced
+	a.GrantsDeclined += b.GrantsDeclined
+	a.BurstsSent += b.BurstsSent
+	a.BurstsReceived += b.BurstsReceived
+	a.FramesSent += b.FramesSent
+	a.FramesLost += b.FramesLost
+	a.ReceiverTimeouts += b.ReceiverTimeouts
+	a.ThresholdAdaptations += b.ThresholdAdaptations
+	a.SensorSends += b.SensorSends
+	a.SensorForwards += b.SensorForwards
+	return a
+}
+
+// RunMany executes n runs with seeds base..base+n-1 and returns results.
+func RunMany(cfg Config, runs int, baseSeed int64) ([]Result, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("netsim: runs %d < 1", runs)
+	}
+	out := make([]Result, 0, runs)
+	for r := 0; r < runs; r++ {
+		c := cfg
+		c.Seed = baseSeed + int64(r)
+		res, err := Run(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Summaries reduces repeated runs to the paper's three metrics.
+func Summaries(results []Result) (goodput, normEnergy, idealEnergy metrics.Summary, meanDelay time.Duration) {
+	gs := make([]float64, 0, len(results))
+	es := make([]float64, 0, len(results))
+	is := make([]float64, 0, len(results))
+	var delaySum time.Duration
+	var delayN int
+	for _, r := range results {
+		gs = append(gs, r.Goodput())
+		es = append(es, r.NormalizedEnergy())
+		ideal := r.RunResult
+		ideal.TotalEnergy = r.IdealEnergy
+		is = append(is, ideal.NormalizedEnergy())
+		delaySum += r.MeanDelay() * time.Duration(1)
+		delayN++
+	}
+	if delayN > 0 {
+		meanDelay = delaySum / time.Duration(delayN)
+	}
+	return metrics.Summarize(gs), metrics.Summarize(es), metrics.Summarize(is), meanDelay
+}
+
+// RunDebug executes one run and reports each node's wifi meter to probe
+// (test/diagnostic hook; the callback receives the node index, its wifi
+// meter and whether the radio is still on at the end of the run).
+func RunDebug(cfg Config, probe func(i int, wifi *energy.Meter, on bool)) (Result, error) {
+	return runInstrumented(cfg, probe)
+}

@@ -1,0 +1,94 @@
+// Package params centralizes the protocol and evaluation constants shared
+// by the analytic models, the network simulator and the mote emulation.
+//
+// The paper fixes the data packet sizes (32 B sensor, 1024 B IEEE 802.11)
+// and the buffer size (5000 x 32 B) but leaves header and control sizes to
+// the underlying stacks; the defaults here follow the CC2420/TinyOS and
+// IEEE 802.11b conventions and are recorded per experiment in
+// EXPERIMENTS.md so every figure is regenerable from first principles.
+package params
+
+import (
+	"time"
+
+	"bulktx/internal/units"
+)
+
+// Packet geometry (paper Section 4.1 plus stack conventions).
+const (
+	// SensorPayload is the sensor-radio data packet payload (paper: 32 B).
+	SensorPayload units.ByteSize = 32
+	// SensorHeader approximates the TinyOS/CC2420 frame overhead: 802.15.4
+	// MAC header + CRC as used by mote-class stacks.
+	SensorHeader units.ByteSize = 11
+	// WifiPayload is the 802.11 data packet payload (paper: 1024 B).
+	WifiPayload units.ByteSize = 1024
+	// WifiHeader approximates 802.11b overhead: 34 B MAC header/FCS plus
+	// a PLCP preamble+header equivalent of 24 B at the data rate.
+	WifiHeader units.ByteSize = 58
+	// ControlPayload is the size of BCP control messages (wake-up,
+	// wake-up ack) carried over the sensor radio.
+	ControlPayload units.ByteSize = 16
+)
+
+// Buffering (paper Section 4.1).
+const (
+	// BufferPackets is the per-node data buffer in sensor packets
+	// (paper: 5000 x 32 B).
+	BufferPackets = 5000
+)
+
+// BurstSizes are the alpha-s* thresholds evaluated in the paper, expressed
+// in sensor packets (10/100/500/1000/2500 x 32 B).
+func BurstSizes() []int { return []int{10, 100, 500, 1000, 2500} }
+
+// Radio timing defaults. The paper charges a fixed wake-up energy; the
+// wake-up latency below models the off->on transition time during which
+// the high-power radio is unusable (milliseconds-scale, consistent with
+// the 802.11 power-cycling literature the paper builds on).
+const (
+	// WifiWakeupLatency is the off->idle transition time of the
+	// high-power radio.
+	WifiWakeupLatency = 2 * time.Millisecond
+	// ReceiverIdleTimeout bounds how long a receiver keeps its 802.11
+	// radio idling while waiting for announced burst data.
+	ReceiverIdleTimeout = 100 * time.Millisecond
+	// SenderAckTimeout bounds how long a BCP sender waits for a wake-up
+	// ack before re-sending the wake-up message.
+	SenderAckTimeout = 250 * time.Millisecond
+	// WakeupMaxRetries bounds wake-up message retransmissions before the
+	// sender abandons the handshake attempt (it retries after more data
+	// accumulates or the retry backoff elapses).
+	WakeupMaxRetries = 5
+	// PostBurstIdle is the Fig. 4 "idle" scenario: radios idle this long
+	// before turning off after a burst.
+	PostBurstIdle = 100 * time.Millisecond
+)
+
+// Evaluation geometry (paper Section 4.1).
+const (
+	// FieldSize is the square deployment edge length.
+	FieldSize units.Meters = 200
+	// GridNodes is the number of nodes in the evaluation grid.
+	GridNodes = 36
+	// SensorRange is the sensor-radio transmission range (Section 2.2).
+	SensorRange units.Meters = 40
+	// WifiLongRange is the 802.11 range at low rate (Cabletron / Lucent
+	// 2 Mbps, Section 2.2).
+	WifiLongRange units.Meters = 250
+	// WifiShortRange is the 802.11 range at 11 Mbps, which the paper
+	// assumes equals the sensor radio's range.
+	WifiShortRange units.Meters = 40
+	// SimDuration is the default simulated run length.
+	SimDuration = 5000 * time.Second
+	// Runs is the number of seeded repetitions behind each reported point.
+	Runs = 20
+)
+
+// Traffic rates evaluated in Section 4.1.
+const (
+	// LowRate is the slow per-sender data rate.
+	LowRate units.BitRate = 200 // 0.2 Kbps
+	// HighRate is the fast per-sender data rate.
+	HighRate units.BitRate = 2000 // 2 Kbps
+)

@@ -1,0 +1,156 @@
+package radio
+
+import (
+	"fmt"
+	"time"
+
+	"bulktx/internal/energy"
+	"bulktx/internal/sim"
+	"bulktx/internal/topo"
+	"bulktx/internal/units"
+)
+
+// Config describes one radio technology instantiated as a channel.
+type Config struct {
+	// Name labels the channel in logs and stats ("sensor", "802.11").
+	Name string
+	// Profile supplies rate and power draws for all transceivers on the
+	// channel.
+	Profile energy.Profile
+	// Range overrides the profile's transmission range when positive
+	// (the paper gives Lucent 11 Mbps the sensor radio's 40 m range).
+	Range units.Meters
+	// LossProb is an independent corruption probability applied to every
+	// frame reception (channel noise, in addition to collisions).
+	LossProb float64
+	// WakeupLatency is the Off -> usable transition time applied by
+	// PowerOn. Zero means instant.
+	WakeupLatency time.Duration
+	// HeaderSize is the technology's frame header; used to charge
+	// header-only overhearing.
+	HeaderSize units.ByteSize
+}
+
+func (c Config) validate() error {
+	if err := c.Profile.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case c.LossProb < 0 || c.LossProb >= 1:
+		return fmt.Errorf("radio: loss probability %v outside [0,1)", c.LossProb)
+	case c.Range < 0:
+		return fmt.Errorf("radio: negative range %v", c.Range)
+	case c.WakeupLatency < 0:
+		return fmt.Errorf("radio: negative wakeup latency %v", c.WakeupLatency)
+	case c.HeaderSize < 0:
+		return fmt.Errorf("radio: negative header size %v", c.HeaderSize)
+	}
+	return nil
+}
+
+// Stats aggregates channel-wide counters.
+type Stats struct {
+	// Transmissions counts frames put on the air.
+	Transmissions uint64
+	// Deliveries counts clean frame receptions passed up to MACs.
+	Deliveries uint64
+	// Collisions counts receptions corrupted by overlapping arrivals.
+	Collisions uint64
+	// NoiseLosses counts receptions dropped by the random loss model.
+	NoiseLosses uint64
+	// Overhears counts clean receptions at nodes other than the
+	// destination.
+	Overhears uint64
+}
+
+// Channel is a broadcast medium shared by all transceivers of one radio
+// technology. Propagation is a disk of the configured range; propagation
+// delay is negligible at the paper's 200 m scale and modelled as zero.
+type Channel struct {
+	sched  *sim.Scheduler
+	cfg    Config
+	layout *topo.Layout
+	nodes  map[NodeID]*Transceiver
+	stats  Stats
+	rng    interface{ Float64() float64 }
+}
+
+// NewChannel builds a channel over the given layout.
+func NewChannel(sched *sim.Scheduler, cfg Config, layout *topo.Layout) (*Channel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if layout == nil || layout.Len() == 0 {
+		return nil, fmt.Errorf("radio: channel %q needs a non-empty layout", cfg.Name)
+	}
+	if cfg.Range == 0 {
+		cfg.Range = cfg.Profile.Range
+	}
+	return &Channel{
+		sched:  sched,
+		cfg:    cfg,
+		layout: layout,
+		nodes:  make(map[NodeID]*Transceiver, layout.Len()),
+		rng:    sched.Rand(),
+	}, nil
+}
+
+// Config returns the channel configuration (with resolved range).
+func (c *Channel) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the channel counters.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// Rate returns the channel bit rate.
+func (c *Channel) Rate() units.BitRate { return c.cfg.Profile.Rate }
+
+// Airtime returns the on-air duration of size bytes on this channel.
+func (c *Channel) Airtime(size units.ByteSize) time.Duration {
+	return c.cfg.Profile.Rate.TimeFor(size)
+}
+
+// Lookup returns the transceiver attached under id, if any.
+func (c *Channel) Lookup(id NodeID) (*Transceiver, bool) {
+	t, ok := c.nodes[id]
+	return t, ok
+}
+
+// InRange reports whether two attached nodes are within radio range.
+func (c *Channel) InRange(a, b NodeID) bool {
+	return topo.InRange(c.layout.Position(int(a)), c.layout.Position(int(b)), c.cfg.Range)
+}
+
+// broadcastTo enumerates the attached transceivers in range of src.
+func (c *Channel) broadcastTo(src NodeID) []*Transceiver {
+	var out []*Transceiver
+	for id, t := range c.nodes {
+		if id == src {
+			continue
+		}
+		if c.InRange(src, id) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// start transmits f from the transceiver, delivering arrivals to every
+// in-range node. Called by Transceiver.Transmit after state checks.
+func (c *Channel) start(f Frame) {
+	c.stats.Transmissions++
+	airtime := c.Airtime(f.Size)
+	// Deterministic iteration: collect then sort by id.
+	receivers := c.broadcastTo(f.Src)
+	sortTransceivers(receivers)
+	for _, rx := range receivers {
+		rx.arrive(f, airtime)
+	}
+}
+
+func sortTransceivers(ts []*Transceiver) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].id < ts[j-1].id; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package radio models the physical layer of both radios: a shared
+// broadcast channel with disk propagation, half-duplex transceivers with
+// power states and energy metering, collision detection and random frame
+// loss.
+//
+// The sensor radios of all nodes share one Channel and the IEEE 802.11
+// radios another; the paper assumes the two operate on non-overlapping
+// channels, so the two Channels never interact.
+package radio
+
+import (
+	"fmt"
+
+	"bulktx/internal/units"
+)
+
+// NodeID identifies a node on a channel. IDs index the channel's layout.
+type NodeID int
+
+// Broadcast addresses a frame to every node in range.
+const Broadcast NodeID = -1
+
+// Kind classifies frames for the MAC and protocol layers.
+type Kind int
+
+// Frame kinds.
+const (
+	// KindData carries application payload.
+	KindData Kind = iota + 1
+	// KindAck is a link-layer acknowledgement.
+	KindAck
+	// KindControl carries protocol control payloads (BCP wake-up
+	// messages and wake-up acks).
+	KindControl
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindControl:
+		return "control"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Frame is a single on-air transmission unit. Src and Dst are per-hop MAC
+// addresses; end-to-end addressing lives in the Payload.
+type Frame struct {
+	// Kind classifies the frame.
+	Kind Kind
+	// Src is the transmitting node.
+	Src NodeID
+	// Dst is the destination node or Broadcast.
+	Dst NodeID
+	// Size is the total on-air size including all headers; it determines
+	// airtime and energy.
+	Size units.ByteSize
+	// Seq is a MAC-level sequence number used for acknowledgement
+	// matching and duplicate suppression.
+	Seq uint64
+	// Payload is the upper-layer content; the radio layer never inspects
+	// it.
+	Payload any
+}
+
+// IsUnicast reports whether the frame has a single destination.
+func (f Frame) IsUnicast() bool { return f.Dst != Broadcast }
+
+// String formats the frame for logs.
+func (f Frame) String() string {
+	return fmt.Sprintf("%s %d->%d seq=%d size=%v", f.Kind, f.Src, f.Dst, f.Seq, f.Size)
+}

@@ -1,0 +1,69 @@
+package radio
+
+import (
+	"fmt"
+
+	"bulktx/internal/sim"
+	"bulktx/internal/units"
+)
+
+// EventKind labels transceiver activity events for observers.
+type EventKind int
+
+// Transceiver events.
+const (
+	// EventWakeupStart fires when an off radio begins powering on.
+	EventWakeupStart EventKind = iota + 1
+	// EventPowerOn fires when the radio becomes usable.
+	EventPowerOn
+	// EventPowerOff fires when the radio turns off.
+	EventPowerOff
+	// EventTxStart and EventTxEnd bracket a transmission.
+	EventTxStart
+	EventTxEnd
+	// EventRxStart and EventRxEnd bracket a charged reception.
+	EventRxStart
+	EventRxEnd
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventWakeupStart:
+		return "wakeup-start"
+	case EventPowerOn:
+		return "power-on"
+	case EventPowerOff:
+		return "power-off"
+	case EventTxStart:
+		return "tx-start"
+	case EventTxEnd:
+		return "tx-end"
+	case EventRxStart:
+		return "rx-start"
+	case EventRxEnd:
+		return "rx-end"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observed transceiver activity record. The mote prototype
+// harness (paper Section 4.2) reconstructs energy consumption from these
+// logs, exactly as the authors post-processed their TinyOS event logs.
+type Event struct {
+	Kind EventKind
+	At   sim.Time
+	// Size is the frame size for tx/rx events (zero otherwise).
+	Size units.ByteSize
+}
+
+// SetObserver registers an activity observer (nil disables).
+func (t *Transceiver) SetObserver(fn func(Event)) { t.observer = fn }
+
+func (t *Transceiver) observe(kind EventKind, size units.ByteSize) {
+	if t.observer == nil {
+		return
+	}
+	t.observer(Event{Kind: kind, At: t.ch.sched.Now(), Size: size})
+}

@@ -1,0 +1,71 @@
+package routing
+
+import (
+	"fmt"
+
+	"bulktx/internal/topo"
+	"bulktx/internal/units"
+)
+
+// Mesh holds all-pairs next-hop routing over one radio's connectivity
+// graph. BCP needs it to forward wake-up messages over the low-power
+// radio toward arbitrary high-power next hops, which are not always
+// ancestors in the data-collection tree.
+type Mesh struct {
+	next [][]int
+	hops [][]int
+}
+
+// BuildMesh runs a breadth-first search from every node, producing
+// shortest-path next hops between all pairs. Ties break toward the
+// geographically closest neighbour, then the lowest index, matching
+// BuildTree.
+func BuildMesh(layout *topo.Layout, r units.Meters) (*Mesh, error) {
+	if layout == nil || layout.Len() == 0 {
+		return nil, fmt.Errorf("routing: empty layout")
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("routing: non-positive range %v", r)
+	}
+	n := layout.Len()
+	m := &Mesh{
+		next: make([][]int, n),
+		hops: make([][]int, n),
+	}
+	for dst := 0; dst < n; dst++ {
+		tree, err := BuildTree(layout, dst, r)
+		if err != nil {
+			return nil, err
+		}
+		m.next[dst] = tree.nextHop
+		m.hops[dst] = tree.hops
+	}
+	return m, nil
+}
+
+// NextHop returns the next hop on the shortest path from node from to
+// node to, and whether a route exists. from == to yields (from, false).
+func (m *Mesh) NextHop(from, to int) (int, bool) {
+	if !m.valid(from) || !m.valid(to) || from == to {
+		return NoRoute, false
+	}
+	nh := m.next[to][from]
+	if nh == NoRoute {
+		return NoRoute, false
+	}
+	return nh, true
+}
+
+// Hops returns the shortest hop count between two nodes, or -1 when
+// disconnected.
+func (m *Mesh) Hops(from, to int) int {
+	if !m.valid(from) || !m.valid(to) {
+		return -1
+	}
+	return m.hops[to][from]
+}
+
+// Len returns the number of nodes covered.
+func (m *Mesh) Len() int { return len(m.next) }
+
+func (m *Mesh) valid(i int) bool { return i >= 0 && i < len(m.next) }

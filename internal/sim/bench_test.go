@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleRun measures raw event throughput: schedule + execute.
+func BenchmarkScheduleRun(b *testing.B) {
+	s := NewScheduler(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+// BenchmarkScheduleCancel measures the cancel path (heap removal).
+func BenchmarkScheduleCancel(b *testing.B) {
+	s := NewScheduler(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		s.Cancel(id)
+	}
+}
+
+// BenchmarkTimerReset measures the protocol-timer rearm pattern.
+func BenchmarkTimerReset(b *testing.B) {
+	s := NewScheduler(1)
+	tm := NewTimer(s, func() {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tm.Reset(time.Millisecond)
+	}
+	tm.Stop()
+}

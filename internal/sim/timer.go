@@ -1,0 +1,45 @@
+package sim
+
+import "time"
+
+// Timer is a restartable one-shot timer bound to a Scheduler. Protocol
+// state machines (BCP wake-up ack timeouts, receiver data timeouts, MAC
+// backoffs) use it to express "fire once at t unless reset or stopped".
+//
+// The zero Timer is not usable; create one with NewTimer.
+type Timer struct {
+	sched *Scheduler
+	fn    func()
+	id    EventID
+	armed bool
+}
+
+// NewTimer returns a timer that invokes fn on expiry.
+func NewTimer(sched *Scheduler, fn func()) *Timer {
+	return &Timer{sched: sched, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, cancelling any previous
+// schedule.
+func (t *Timer) Reset(d time.Duration) {
+	t.Stop()
+	t.armed = true
+	t.id = t.sched.After(d, t.fire)
+}
+
+// Stop disarms the timer. It reports whether the timer was armed.
+func (t *Timer) Stop() bool {
+	if !t.armed {
+		return false
+	}
+	t.armed = false
+	return t.sched.Cancel(t.id)
+}
+
+// Armed reports whether the timer is waiting to fire.
+func (t *Timer) Armed() bool { return t.armed }
+
+func (t *Timer) fire() {
+	t.armed = false
+	t.fn()
+}

@@ -1,0 +1,183 @@
+// Package topo provides node placement and connectivity geometry for the
+// evaluation scenarios: the paper's 6x6 grid over a 200x200 m field, the
+// linear source-destination layout of Section 2.2, and random layouts for
+// robustness tests.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bulktx/internal/units"
+)
+
+// Position is a node location on the deployment plane.
+type Position struct {
+	X, Y units.Meters
+}
+
+// Distance returns the Euclidean distance between two positions.
+func Distance(a, b Position) units.Meters {
+	dx := float64(a.X - b.X)
+	dy := float64(a.Y - b.Y)
+	return units.Meters(math.Hypot(dx, dy))
+}
+
+// InRange reports whether b is within radio range r of a.
+func InRange(a, b Position, r units.Meters) bool {
+	return Distance(a, b) <= r
+}
+
+// Layout is an indexed set of node positions. Index 0 conventionally
+// hosts the sink in the evaluation scenarios.
+type Layout struct {
+	positions []Position
+}
+
+// NewLayout copies the given positions into a Layout.
+func NewLayout(positions []Position) *Layout {
+	ps := make([]Position, len(positions))
+	copy(ps, positions)
+	return &Layout{positions: ps}
+}
+
+// Grid places n nodes on the smallest square grid covering a field x field
+// area, row-major from the origin corner. The paper's evaluation uses
+// Grid(36, 200) — a 6x6 grid with 40 m spacing, matching the sensor radio
+// range so each node reaches its grid neighbours.
+func Grid(n int, field units.Meters) (*Layout, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: grid size %d must be positive", n)
+	}
+	if field <= 0 {
+		return nil, fmt.Errorf("topo: field size %v must be positive", field)
+	}
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	spacing := float64(field) / float64(side-1)
+	if side == 1 {
+		spacing = 0
+	}
+	ps := make([]Position, 0, n)
+	for i := 0; i < n; i++ {
+		row, col := i/side, i%side
+		ps = append(ps, Position{
+			X: units.Meters(float64(col) * spacing),
+			Y: units.Meters(float64(row) * spacing),
+		})
+	}
+	return &Layout{positions: ps}, nil
+}
+
+// Line places n nodes on a straight line with the given spacing, node 0
+// at the origin. Section 2.2's multi-hop feasibility study uses a linear
+// topology with the source and destination 200 m apart.
+func Line(n int, spacing units.Meters) (*Layout, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: line size %d must be positive", n)
+	}
+	if spacing < 0 {
+		return nil, fmt.Errorf("topo: spacing %v must be non-negative", spacing)
+	}
+	ps := make([]Position, 0, n)
+	for i := 0; i < n; i++ {
+		ps = append(ps, Position{X: units.Meters(float64(i) * float64(spacing))})
+	}
+	return &Layout{positions: ps}, nil
+}
+
+// Random places n nodes uniformly at random over a field x field area
+// using the given source.
+func Random(n int, field units.Meters, rng *rand.Rand) (*Layout, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: random size %d must be positive", n)
+	}
+	if field <= 0 {
+		return nil, fmt.Errorf("topo: field size %v must be positive", field)
+	}
+	ps := make([]Position, 0, n)
+	for i := 0; i < n; i++ {
+		ps = append(ps, Position{
+			X: units.Meters(rng.Float64() * float64(field)),
+			Y: units.Meters(rng.Float64() * float64(field)),
+		})
+	}
+	return &Layout{positions: ps}, nil
+}
+
+// Len returns the number of nodes.
+func (l *Layout) Len() int { return len(l.positions) }
+
+// Position returns node i's location.
+func (l *Layout) Position(i int) Position { return l.positions[i] }
+
+// Positions returns a copy of all positions.
+func (l *Layout) Positions() []Position {
+	out := make([]Position, len(l.positions))
+	copy(out, l.positions)
+	return out
+}
+
+// Neighbors returns the indices of all nodes within range r of node i,
+// excluding i itself.
+func (l *Layout) Neighbors(i int, r units.Meters) []int {
+	var out []int
+	for j := range l.positions {
+		if j == i {
+			continue
+		}
+		if InRange(l.positions[i], l.positions[j], r) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Connected reports whether every node can reach node root over links of
+// range r (breadth-first search).
+func (l *Layout) Connected(root int, r units.Meters) bool {
+	if root < 0 || root >= len(l.positions) {
+		return false
+	}
+	seen := make([]bool, len(l.positions))
+	queue := []int{root}
+	seen[root] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range l.Neighbors(cur, r) {
+			if !seen[nb] {
+				seen[nb] = true
+				count++
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return count == len(l.positions)
+}
+
+// HopCounts returns the minimum hop count from every node to root over
+// links of range r; unreachable nodes get -1.
+func (l *Layout) HopCounts(root int, r units.Meters) []int {
+	hops := make([]int, len(l.positions))
+	for i := range hops {
+		hops[i] = -1
+	}
+	if root < 0 || root >= len(l.positions) {
+		return hops
+	}
+	hops[root] = 0
+	queue := []int{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range l.Neighbors(cur, r) {
+			if hops[nb] == -1 {
+				hops[nb] = hops[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return hops
+}

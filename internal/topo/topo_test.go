@@ -1,0 +1,251 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bulktx/internal/units"
+)
+
+func TestDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Position
+		want float64
+	}{
+		{"same point", Position{0, 0}, Position{0, 0}, 0},
+		{"horizontal", Position{0, 0}, Position{40, 0}, 40},
+		{"vertical", Position{0, 0}, Position{0, 30}, 30},
+		{"pythagorean", Position{0, 0}, Position{30, 40}, 50},
+		{"negative coords", Position{-10, -10}, Position{-10, 30}, 40},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Distance(tt.a, tt.b); math.Abs(float64(got)-tt.want) > 1e-9 {
+				t.Errorf("Distance = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGridPaperGeometry(t *testing.T) {
+	// The paper's 36-node grid over 200x200 m: 6x6 with 40 m spacing.
+	l, err := Grid(36, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 36 {
+		t.Fatalf("Len = %d, want 36", l.Len())
+	}
+	if got := l.Position(0); got.X != 0 || got.Y != 0 {
+		t.Errorf("corner node at %v, want origin", got)
+	}
+	if got := l.Position(35); math.Abs(float64(got.X)-200) > 1e-9 || math.Abs(float64(got.Y)-200) > 1e-9 {
+		t.Errorf("far corner at %v, want (200,200)", got)
+	}
+	// Grid neighbours are exactly 40 m apart: in sensor range.
+	if d := Distance(l.Position(0), l.Position(1)); math.Abs(float64(d)-40) > 1e-9 {
+		t.Errorf("grid spacing = %v, want 40 m", d)
+	}
+	// Corner node sees its two axial neighbours plus nothing else at 40 m.
+	nb := l.Neighbors(0, 40)
+	if len(nb) != 2 {
+		t.Errorf("corner neighbours at 40m = %v, want 2", nb)
+	}
+	// Interior node: four axial neighbours.
+	nb = l.Neighbors(7, 40)
+	if len(nb) != 4 {
+		t.Errorf("interior neighbours at 40m = %v, want 4", nb)
+	}
+}
+
+func TestGridConnectedAtSensorRange(t *testing.T) {
+	l, err := Grid(36, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Connected(0, 40) {
+		t.Error("paper grid not connected at 40 m sensor range")
+	}
+	if l.Connected(0, 39) {
+		t.Error("grid connected below spacing — spacing wrong")
+	}
+}
+
+func TestGridSingleNode(t *testing.T) {
+	l, err := Grid(1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if !l.Connected(0, 1) {
+		t.Error("single node not connected to itself")
+	}
+}
+
+func TestGridErrors(t *testing.T) {
+	if _, err := Grid(0, 200); err == nil {
+		t.Error("Grid(0) did not error")
+	}
+	if _, err := Grid(10, 0); err == nil {
+		t.Error("Grid with zero field did not error")
+	}
+}
+
+func TestLinePaperScenario(t *testing.T) {
+	// Section 2.2: source and destination 200 m apart; sensor radios (40m)
+	// need 5 hops, 802.11 at 250 m reaches in one.
+	l, err := Line(6, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Distance(l.Position(0), l.Position(5)); math.Abs(float64(d)-200) > 1e-9 {
+		t.Fatalf("endpoints %v apart, want 200 m", d)
+	}
+	hops := l.HopCounts(5, 40)
+	if hops[0] != 5 {
+		t.Errorf("sensor hops source->dest = %d, want 5", hops[0])
+	}
+	hops = l.HopCounts(5, 250)
+	if hops[0] != 1 {
+		t.Errorf("802.11 hops source->dest = %d, want 1", hops[0])
+	}
+}
+
+func TestLineErrors(t *testing.T) {
+	if _, err := Line(0, 40); err == nil {
+		t.Error("Line(0) did not error")
+	}
+	if _, err := Line(3, -1); err == nil {
+		t.Error("Line with negative spacing did not error")
+	}
+}
+
+func TestRandomLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l, err := Random(50, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 50 {
+		t.Fatalf("Len = %d, want 50", l.Len())
+	}
+	for i := 0; i < l.Len(); i++ {
+		p := l.Position(i)
+		if p.X < 0 || p.X > 200 || p.Y < 0 || p.Y > 200 {
+			t.Errorf("node %d at %v outside field", i, p)
+		}
+	}
+	if _, err := Random(0, 200, rng); err == nil {
+		t.Error("Random(0) did not error")
+	}
+	if _, err := Random(5, -1, rng); err == nil {
+		t.Error("Random with negative field did not error")
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l, err := Random(30, 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < l.Len(); i++ {
+		for _, j := range l.Neighbors(i, 60) {
+			found := false
+			for _, k := range l.Neighbors(j, 60) {
+				if k == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("neighbour relation asymmetric between %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestHopCountsUnreachable(t *testing.T) {
+	l := NewLayout([]Position{{0, 0}, {1000, 0}})
+	hops := l.HopCounts(0, 40)
+	if hops[1] != -1 {
+		t.Errorf("unreachable node hops = %d, want -1", hops[1])
+	}
+	if hops[0] != 0 {
+		t.Errorf("root hops = %d, want 0", hops[0])
+	}
+}
+
+func TestHopCountsBadRoot(t *testing.T) {
+	l := NewLayout([]Position{{0, 0}})
+	for _, root := range []int{-1, 5} {
+		hops := l.HopCounts(root, 40)
+		if hops[0] != -1 {
+			t.Errorf("HopCounts(root=%d) = %v, want all -1", root, hops)
+		}
+		if l.Connected(root, 40) {
+			t.Errorf("Connected(root=%d) = true", root)
+		}
+	}
+}
+
+func TestNewLayoutCopies(t *testing.T) {
+	src := []Position{{1, 2}}
+	l := NewLayout(src)
+	src[0].X = 99
+	if l.Position(0).X != 1 {
+		t.Error("NewLayout aliases caller slice")
+	}
+	got := l.Positions()
+	got[0].Y = 77
+	if l.Position(0).Y != 2 {
+		t.Error("Positions() aliases internal slice")
+	}
+}
+
+// Property: hop counts respect the triangle property — every node's hop
+// count is at most 1 more than some neighbour's.
+func TestHopCountsConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l, err := Random(20, 100, rng)
+		if err != nil {
+			return false
+		}
+		const r = 45
+		hops := l.HopCounts(0, r)
+		for i, h := range hops {
+			if h <= 0 {
+				continue
+			}
+			best := math.MaxInt
+			for _, nb := range l.Neighbors(i, r) {
+				if hops[nb] >= 0 && hops[nb] < best {
+					best = hops[nb]
+				}
+			}
+			if best == math.MaxInt || h != best+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInRange(t *testing.T) {
+	a, b := Position{0, 0}, Position{0, units.Meters(40)}
+	if !InRange(a, b, 40) {
+		t.Error("boundary distance not in range (should be inclusive)")
+	}
+	if InRange(a, b, 39.9) {
+		t.Error("beyond range reported in range")
+	}
+}

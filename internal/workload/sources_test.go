@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bulktx/internal/core"
+	"bulktx/internal/sim"
+	"bulktx/internal/units"
+)
+
+func TestPoissonMeanRate(t *testing.T) {
+	sched := sim.NewScheduler(7)
+	count := 0
+	g, err := NewPoisson(sched, 0, 1, 2*units.Kbps, 32, func(core.Packet) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	sched.RunUntil(1000 * time.Second)
+	g.Stop()
+	// 2 Kbps / 256 bits = 7.8125 pkt/s -> ~7812 packets over 1000 s.
+	// Poisson stddev ~ sqrt(7812) ~ 88; allow 5 sigma.
+	expect := 7812.5
+	if math.Abs(float64(count)-expect) > 5*math.Sqrt(expect) {
+		t.Errorf("Poisson generated %d packets, want ~%.0f", count, expect)
+	}
+	packets, bits := g.Generated()
+	if int(packets) != count || bits != int64(count)*256 {
+		t.Errorf("Generated() = (%d, %d), emitted %d", packets, bits, count)
+	}
+}
+
+func TestPoissonInterArrivalsVary(t *testing.T) {
+	sched := sim.NewScheduler(7)
+	var times []sim.Time
+	g, err := NewPoisson(sched, 0, 1, 2*units.Kbps, 32, func(p core.Packet) {
+		times = append(times, p.Created)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	sched.RunUntil(100 * time.Second)
+	if len(times) < 10 {
+		t.Fatalf("too few packets: %d", len(times))
+	}
+	gaps := make(map[time.Duration]bool)
+	for i := 1; i < len(times); i++ {
+		gaps[times[i]-times[i-1]] = true
+	}
+	if len(gaps) < len(times)/2 {
+		t.Errorf("inter-arrivals look constant: %d distinct gaps over %d packets",
+			len(gaps), len(times))
+	}
+}
+
+func TestPoissonValidation(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	emit := func(core.Packet) {}
+	if _, err := NewPoisson(sched, 0, 1, 0, 32, emit); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewPoisson(sched, 0, 1, 200, 0, emit); err == nil {
+		t.Error("zero payload accepted")
+	}
+	if _, err := NewPoisson(sched, 0, 1, 200, 32, nil); err == nil {
+		t.Error("nil emit accepted")
+	}
+}
+
+func TestPoissonStop(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	count := 0
+	g, err := NewPoisson(sched, 0, 1, 2*units.Kbps, 32, func(core.Packet) { count++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	g.Start() // idempotent
+	sched.RunUntil(10 * time.Second)
+	at := count
+	g.Stop()
+	sched.RunUntil(100 * time.Second)
+	if count != at {
+		t.Errorf("generated %d packets after Stop", count-at)
+	}
+}
+
+func TestOnOffAlternates(t *testing.T) {
+	sched := sim.NewScheduler(3)
+	var times []sim.Time
+	g, err := NewOnOff(sched, 0, 1, 64*units.Kbps, 32,
+		2*time.Second, 10*time.Second, func(p core.Packet) {
+			times = append(times, p.Created)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	sched.RunUntil(600 * time.Second)
+	g.Stop()
+	if len(times) < 100 {
+		t.Fatalf("too few packets: %d", len(times))
+	}
+	// Packets must cluster: many 4 ms peak-rate gaps plus some long
+	// silences far above the mean ON duration.
+	peakGap := time.Duration(float64(32*8) / 64000 * float64(time.Second))
+	peak, silence := 0, 0
+	for i := 1; i < len(times); i++ {
+		gap := times[i] - times[i-1]
+		switch {
+		case gap <= 2*peakGap:
+			peak++
+		case gap > 4*time.Second:
+			silence++
+		}
+	}
+	if peak < len(times)/2 {
+		t.Errorf("only %d/%d peak-rate gaps: not bursty", peak, len(times))
+	}
+	if silence < 5 {
+		t.Errorf("only %d silences in 600 s with mean 10 s OFF", silence)
+	}
+	// Duty cycle sanity: mean ON 2 s of every 12 s -> 1/6 of the 250
+	// packet/s peak -> ~25000 packets over 600 s (wide tolerance: the
+	// cycle count is only ~50, so the duty ratio is noisy).
+	if len(times) < 15000 || len(times) > 35000 {
+		t.Errorf("generated %d packets, want ~25000 (duty-cycled)", len(times))
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	sched := sim.NewScheduler(1)
+	emit := func(core.Packet) {}
+	if _, err := NewOnOff(sched, 0, 1, 0, 32, time.Second, time.Second, emit); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewOnOff(sched, 0, 1, 64*units.Kbps, 0, time.Second, time.Second, emit); err == nil {
+		t.Error("zero payload accepted")
+	}
+	if _, err := NewOnOff(sched, 0, 1, 64*units.Kbps, 32, 0, time.Second, emit); err == nil {
+		t.Error("zero mean-on accepted")
+	}
+	if _, err := NewOnOff(sched, 0, 1, 64*units.Kbps, 32, time.Second, -1, emit); err == nil {
+		t.Error("negative mean-off accepted")
+	}
+	if _, err := NewOnOff(sched, 0, 1, 64*units.Kbps, 32, time.Second, time.Second, nil); err == nil {
+		t.Error("nil emit accepted")
+	}
+}
+
+func TestOnOffStopAndCounters(t *testing.T) {
+	sched := sim.NewScheduler(5)
+	count := 0
+	g, err := NewOnOff(sched, 2, 9, 64*units.Kbps, 32,
+		time.Second, time.Second, func(p core.Packet) {
+			count++
+			if p.Src != 2 || p.Dst != 9 {
+				t.Fatalf("bad endpoints %+v", p)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	g.Start()
+	sched.RunUntil(60 * time.Second)
+	at := count
+	g.Stop()
+	sched.RunUntil(120 * time.Second)
+	if count != at {
+		t.Errorf("generated after Stop")
+	}
+	packets, bits := g.Generated()
+	if int(packets) != count || bits != int64(count)*256 {
+		t.Errorf("Generated() = (%d, %d), emitted %d", packets, bits, count)
+	}
+}
