@@ -9,6 +9,7 @@ import (
 	"bulktx/internal/metrics"
 	"bulktx/internal/mote"
 	"bulktx/internal/netsim"
+	"bulktx/internal/sweep"
 	"bulktx/internal/units"
 )
 
@@ -47,6 +48,22 @@ type (
 	// ExperimentScale trades fidelity for wall-clock time when
 	// regenerating the simulation figures.
 	ExperimentScale = experiments.Scale
+
+	// SweepSpec declares a grid of seeded simulation runs over a base
+	// SimConfig template (axes over model, senders, bursts, traffic).
+	SweepSpec = sweep.Spec
+
+	// SweepPool executes sweep jobs on a fixed-size worker pool with
+	// optional result caching.
+	SweepPool = sweep.Pool
+
+	// SweepOutcome is an executed sweep: per-job results plus grouped
+	// per-cell summaries and JSON/CSV/table exporters.
+	SweepOutcome = sweep.Outcome
+
+	// SweepCache memoizes simulation results by a content key over the
+	// full run configuration.
+	SweepCache = sweep.Cache
 
 	// Energy is an amount of energy in joules.
 	Energy = units.Energy
@@ -133,6 +150,30 @@ func NewPrototypeConfig(threshold ByteSize) PrototypeConfig {
 
 // RunPrototype executes one mote prototype run.
 func RunPrototype(cfg PrototypeConfig) (PrototypeResult, error) { return mote.Run(cfg) }
+
+// RunSweep executes a sweep spec on a default pool (all cores,
+// in-memory cache) and returns the grouped outcome. Construct a
+// SweepPool directly to control concurrency, progress reporting or
+// disk caching.
+func RunSweep(spec SweepSpec) (*SweepOutcome, error) {
+	pool := &sweep.Pool{Cache: sweep.NewCache()}
+	return pool.RunSpec(spec)
+}
+
+// NewSweepCache returns an in-memory (process-lifetime) sweep result
+// cache.
+func NewSweepCache() *SweepCache { return sweep.NewCache() }
+
+// NewSweepDiskCache returns a sweep result cache persisted under dir
+// in addition to memory; deleting the directory is always safe.
+func NewSweepDiskCache(dir string) (*SweepCache, error) { return sweep.NewDiskCache(dir) }
+
+// ConfigureExperiments replaces the worker-pool size (0 = all cores)
+// and result cache (nil = fresh in-memory) behind RunExperiment's
+// simulation figures and ablations.
+func ConfigureExperiments(workers int, cache *SweepCache) {
+	experiments.ConfigureEngine(workers, cache)
+}
 
 // Experiments lists the regenerable paper artifacts and ablations.
 func Experiments() []string { return experiments.Names() }

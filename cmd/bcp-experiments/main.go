@@ -6,6 +6,11 @@
 //	bcp-experiments -run fig6                 # quick scale (seconds)
 //	bcp-experiments -run fig6 -scale full     # the paper's full scenario
 //	bcp-experiments -run all -scale quick
+//	bcp-experiments -run all -cache-dir ~/.cache/bulktx-sweep
+//
+// Simulation figures run on the parallel sweep engine; -workers bounds
+// its concurrency and -cache-dir persists simulated cells across
+// invocations (safe to delete at any time).
 package main
 
 import (
@@ -26,11 +31,22 @@ func main() {
 
 func run() error {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		name  = flag.String("run", "", "experiment to run (or 'all')")
-		scale = flag.String("scale", "quick", "simulation scale: quick|full")
+		list     = flag.Bool("list", false, "list available experiments")
+		name     = flag.String("run", "", "experiment to run (or 'all')")
+		scale    = flag.String("scale", "quick", "simulation scale: quick|full")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = all cores)")
+		cacheDir = flag.String("cache-dir", "", "on-disk sweep result cache (empty = in-memory only)")
 	)
 	flag.Parse()
+
+	var cache *bulktx.SweepCache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = bulktx.NewSweepDiskCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+	bulktx.ConfigureExperiments(*workers, cache)
 
 	if *list || *name == "" {
 		fmt.Println("available experiments:")

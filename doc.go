@@ -21,7 +21,27 @@
 //     energy metering) — see RunSimulation;
 //   - the prototype emulation of Section 4.2 — see RunPrototype;
 //   - runners that regenerate every table and figure of the paper — see
-//     RunExperiment.
+//     RunExperiment;
+//   - a parallel sweep-orchestration engine for grids of seeded runs
+//     (the shape of every evaluation in the paper) — see RunSweep.
+//
+// # Sweeps
+//
+// A SweepSpec declares axes (model, senders, burst threshold, traffic,
+// seeds) over a SimConfig template; the sweep engine compiles it into a
+// flat job list and executes it on a worker pool sized to the machine.
+// Each run derives all of its randomness from its own seed, so parallel
+// results are byte-identical to serial execution. An optional
+// SweepCache memoizes results keyed by a hash of the full run
+// configuration — in memory, and optionally on disk (NewSweepDiskCache)
+// so overlapping sweeps across processes only simulate new points.
+// Outcomes aggregate per grid point (mean / 95% CI over seeds) and
+// export as metrics tables, JSON or CSV.
+//
+// The experiment runners behind RunExperiment execute on a shared
+// instance of this engine (see ConfigureExperiments), so regenerating
+// several figures reuses every overlapping grid cell. The cmd/bcp-sweep
+// executable exposes the engine directly for ad-hoc grids.
 //
 // The executables under cmd/ and the runnable scenarios under examples/
 // are thin clients of this API.

@@ -1,0 +1,3 @@
+module bulktx
+
+go 1.24

@@ -27,6 +27,14 @@ const (
 	Overhear
 )
 
+// States lists every power state in a fixed canonical order. Callers
+// aggregating per-state ledgers (e.g. summing float energies across
+// states) must iterate in this order, not in map order, so that totals
+// are bit-identical across runs.
+func States() []State {
+	return []State{Off, WakingUp, Idle, Rx, Tx, Overhear}
+}
+
 // String returns the state name.
 func (s State) String() string {
 	switch s {

@@ -9,7 +9,10 @@ import (
 )
 
 // Ablations probe the design choices DESIGN.md calls out. They are not
-// paper artifacts but sensitivity studies around them.
+// paper artifacts but sensitivity studies around them. Each ablation
+// compiles its whole configuration list up front and executes it as a
+// single batch on the shared sweep engine, so the cells run in
+// parallel and repeat runs hit the cache.
 
 // AblationShortcut compares the multi-hop dual model routing bursts over
 // a wifi tree (the evaluation default) against sensor-tree next hops
@@ -20,20 +23,27 @@ func AblationShortcut(s Scale) (metrics.Table, error) {
 		XLabel: "senders",
 		YLabel: "normalized energy (J/Kbit)",
 	}
-	for _, learner := range []bool{false, true} {
+	learners := []bool{false, true}
+	var cfgs []netsim.Config
+	for _, learner := range learners {
+		for _, n := range s.Senders {
+			cfg := s.baseConfig(MultiHop, netsim.ModelDual, n, 100)
+			cfg.UseShortcutLearner = learner
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	groups, err := engine.Grid(cfgs, s.Runs, s.BaseSeed)
+	if err != nil {
+		return tbl, err
+	}
+	for i, learner := range learners {
 		label := "wifi-tree"
 		if learner {
 			label = "shortcut-learner"
 		}
 		series := metrics.Series{Label: label}
-		for _, n := range s.Senders {
-			cfg := s.baseConfig(MultiHop, netsim.ModelDual, n, 100)
-			cfg.UseShortcutLearner = learner
-			results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
-			if err != nil {
-				return tbl, err
-			}
-			_, e, _, _ := netsim.Summaries(results)
+		for j, n := range s.Senders {
+			_, e, _, _ := netsim.Summaries(groups[i*len(s.Senders)+j])
 			series.X = append(series.X, float64(n))
 			series.Y = append(series.Y, e)
 		}
@@ -51,17 +61,22 @@ func AblationLinger(s Scale) (metrics.Table, error) {
 		XLabel: "linger(ms)",
 		YLabel: "normalized energy (J/Kbit)",
 	}
-	series := metrics.Series{Label: "DualRadio-500"}
-	for _, linger := range []time.Duration{
+	lingers := []time.Duration{
 		0, 10 * time.Millisecond, 100 * time.Millisecond, time.Second,
-	} {
+	}
+	var cfgs []netsim.Config
+	for _, linger := range lingers {
 		cfg := s.baseConfig(SingleHop, netsim.ModelDual, 15, 500)
 		cfg.PostBurstLinger = linger
-		results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
-		if err != nil {
-			return tbl, err
-		}
-		_, e, _, _ := netsim.Summaries(results)
+		cfgs = append(cfgs, cfg)
+	}
+	groups, err := engine.Grid(cfgs, s.Runs, s.BaseSeed)
+	if err != nil {
+		return tbl, err
+	}
+	series := metrics.Series{Label: "DualRadio-500"}
+	for i, linger := range lingers {
+		_, e, _, _ := netsim.Summaries(groups[i])
 		series.X = append(series.X, float64(linger.Milliseconds()))
 		series.Y = append(series.Y, e)
 	}
@@ -77,20 +92,27 @@ func AblationMinGrant(s Scale) (metrics.Table, error) {
 		XLabel: "senders",
 		YLabel: "goodput",
 	}
-	for _, minGrant := range []int{0, 40} {
+	minGrants := []int{0, 40}
+	var cfgs []netsim.Config
+	for _, minGrant := range minGrants {
+		for _, n := range s.Senders {
+			cfg := s.baseConfig(SingleHop, netsim.ModelDual, n, 500)
+			cfg.MinGrantPackets = minGrant
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	groups, err := engine.Grid(cfgs, s.Runs, s.BaseSeed)
+	if err != nil {
+		return tbl, err
+	}
+	for i, minGrant := range minGrants {
 		label := "accept-any-grant"
 		if minGrant > 0 {
 			label = fmt.Sprintf("decline-below-%d", minGrant)
 		}
 		series := metrics.Series{Label: label}
-		for _, n := range s.Senders {
-			cfg := s.baseConfig(SingleHop, netsim.ModelDual, n, 500)
-			cfg.MinGrantPackets = minGrant
-			results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
-			if err != nil {
-				return tbl, err
-			}
-			g, _, _, _ := netsim.Summaries(results)
+		for j, n := range s.Senders {
+			g, _, _, _ := netsim.Summaries(groups[i*len(s.Senders)+j])
 			series.X = append(series.X, float64(n))
 			series.Y = append(series.Y, g)
 		}
@@ -109,21 +131,29 @@ func AblationAdaptive(s Scale) (metrics.Table, error) {
 		XLabel: "wifi loss",
 		YLabel: "normalized energy (J/Kbit)",
 	}
-	for _, alpha := range []float64{0, 2} {
+	alphas := []float64{0, 2}
+	losses := []float64{0, 0.1, 0.3}
+	var cfgs []netsim.Config
+	for _, alpha := range alphas {
+		for _, loss := range losses {
+			cfg := s.baseConfig(SingleHop, netsim.ModelDual, 15, 500)
+			cfg.WifiLoss = loss
+			cfg.AdaptiveThresholdAlpha = alpha
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	groups, err := engine.Grid(cfgs, s.Runs, s.BaseSeed)
+	if err != nil {
+		return tbl, err
+	}
+	for i, alpha := range alphas {
 		label := "static-500"
 		if alpha > 0 {
 			label = fmt.Sprintf("adaptive-alpha-%g", alpha)
 		}
 		series := metrics.Series{Label: label}
-		for _, loss := range []float64{0, 0.1, 0.3} {
-			cfg := s.baseConfig(SingleHop, netsim.ModelDual, 15, 500)
-			cfg.WifiLoss = loss
-			cfg.AdaptiveThresholdAlpha = alpha
-			results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
-			if err != nil {
-				return tbl, err
-			}
-			_, e, _, _ := netsim.Summaries(results)
+		for j, loss := range losses {
+			_, e, _, _ := netsim.Summaries(groups[i*len(losses)+j])
 			series.X = append(series.X, loss)
 			series.Y = append(series.Y, e)
 		}
@@ -141,18 +171,23 @@ func AblationDelayBound(s Scale) (metrics.Table, error) {
 		XLabel: "bound(s)",
 		YLabel: "normalized energy (J/Kbit)",
 	}
-	energySeries := metrics.Series{Label: "energy"}
-	delaySeries := metrics.Series{Label: "mean-delay(s)"}
-	for _, bound := range []time.Duration{
+	bounds := []time.Duration{
 		0, 60 * time.Second, 20 * time.Second, 5 * time.Second,
-	} {
+	}
+	var cfgs []netsim.Config
+	for _, bound := range bounds {
 		cfg := s.baseConfig(SingleHop, netsim.ModelDual, 5, 1000)
 		cfg.DelayBound = bound
-		results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
-		if err != nil {
-			return tbl, err
-		}
-		_, e, _, d := netsim.Summaries(results)
+		cfgs = append(cfgs, cfg)
+	}
+	groups, err := engine.Grid(cfgs, s.Runs, s.BaseSeed)
+	if err != nil {
+		return tbl, err
+	}
+	energySeries := metrics.Series{Label: "energy"}
+	delaySeries := metrics.Series{Label: "mean-delay(s)"}
+	for i, bound := range bounds {
+		_, e, _, d := netsim.Summaries(groups[i])
 		x := bound.Seconds()
 		energySeries.X = append(energySeries.X, x)
 		energySeries.Y = append(energySeries.Y, e)
@@ -171,15 +206,20 @@ func AblationLoss(s Scale) (metrics.Table, error) {
 		XLabel: "loss",
 		YLabel: "goodput",
 	}
-	series := metrics.Series{Label: "DualRadio-100"}
-	for _, loss := range []float64{0, 0.1, 0.2, 0.4} {
+	losses := []float64{0, 0.1, 0.2, 0.4}
+	var cfgs []netsim.Config
+	for _, loss := range losses {
 		cfg := s.baseConfig(SingleHop, netsim.ModelDual, 15, 100)
 		cfg.SensorLoss = loss
-		results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
-		if err != nil {
-			return tbl, err
-		}
-		g, _, _, _ := netsim.Summaries(results)
+		cfgs = append(cfgs, cfg)
+	}
+	groups, err := engine.Grid(cfgs, s.Runs, s.BaseSeed)
+	if err != nil {
+		return tbl, err
+	}
+	series := metrics.Series{Label: "DualRadio-100"}
+	for i, loss := range losses {
+		g, _, _, _ := netsim.Summaries(groups[i])
 		series.X = append(series.X, loss)
 		series.Y = append(series.Y, g)
 	}

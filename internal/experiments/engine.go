@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"bulktx/internal/sweep"
+)
+
+// engine is the shared sweep executor behind every simulation figure
+// and ablation: one process-wide worker pool plus a result cache.
+// Figures that share grid cells (fig5/fig6 share every single-hop dual
+// cell, fig8/fig9 every multi-hop one, and the delay figures reuse
+// both) only simulate each cell once per process; the pool spreads the
+// remaining cells over all cores.
+var engine = &sweep.Pool{Cache: sweep.NewCache()}
+
+// ConfigureEngine replaces the shared executor's concurrency limit
+// (workers < 1 keeps runtime.NumCPU) and cache (nil selects a fresh
+// in-memory cache; pass a sweep.NewDiskCache to persist results across
+// processes). Call it before running experiments, not concurrently
+// with them.
+func ConfigureEngine(workers int, cache *sweep.Cache) {
+	if cache == nil {
+		cache = sweep.NewCache()
+	}
+	engine = &sweep.Pool{Workers: workers, Cache: cache}
+}

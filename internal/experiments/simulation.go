@@ -7,6 +7,7 @@ import (
 	"bulktx/internal/metrics"
 	"bulktx/internal/netsim"
 	"bulktx/internal/params"
+	"bulktx/internal/sweep"
 	"bulktx/internal/units"
 )
 
@@ -104,14 +105,62 @@ type sweepResult struct {
 	delay   time.Duration
 }
 
-func (s Scale) cell(c Case, model netsim.Model, senders, burst int) (sweepResult, error) {
-	cfg := s.baseConfig(c, model, senders, burst)
-	results, err := netsim.RunMany(cfg, s.Runs, s.BaseSeed)
-	if err != nil {
-		return sweepResult{}, err
-	}
+func summarize(results []netsim.Result) sweepResult {
 	g, e, ie, d := netsim.Summaries(results)
-	return sweepResult{goodput: g, normE: e, idealE: ie, delay: d}, nil
+	return sweepResult{goodput: g, normE: e, idealE: ie, delay: d}
+}
+
+// dualSpec declares the figure's dual-radio grid: senders x bursts x
+// seeds at the case's scenario.
+func (s Scale) dualSpec(c Case) sweep.Spec {
+	return sweep.Spec{
+		Base:     s.baseConfig(c, netsim.ModelDual, s.Senders[0], s.Bursts[0]),
+		Senders:  s.Senders,
+		Bursts:   s.Bursts,
+		Runs:     s.Runs,
+		BaseSeed: s.BaseSeed,
+	}
+}
+
+// baselineSpec declares the baseline-model curves (burst axis
+// collapses for non-dual models).
+func (s Scale) baselineSpec(c Case, models ...netsim.Model) sweep.Spec {
+	return sweep.Spec{
+		Base:     s.baseConfig(c, models[0], s.Senders[0], 0),
+		Models:   models,
+		Senders:  s.Senders,
+		Runs:     s.Runs,
+		BaseSeed: s.BaseSeed,
+	}
+}
+
+// gridOutcome batches the dual grid plus any baseline curves into one
+// parallel, cached sweep execution.
+func (s Scale) gridOutcome(c Case, baselines ...netsim.Model) (*sweep.Outcome, error) {
+	jobs, err := s.dualSpec(c).Jobs()
+	if err != nil {
+		return nil, err
+	}
+	if len(baselines) > 0 {
+		bj, err := s.baselineSpec(c, baselines...).Jobs()
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, bj...)
+	}
+	return engine.RunJobs(jobs)
+}
+
+// dualCell and baselineCell pull one summarized grid point out of an
+// executed outcome.
+func dualCell(out *sweep.Outcome, senders, burst int) sweepResult {
+	return summarize(out.PointResults(sweep.Point{
+		Model: netsim.ModelDual, Senders: senders, Burst: burst,
+	}))
+}
+
+func baselineCell(out *sweep.Outcome, model netsim.Model, senders int) sweepResult {
+	return summarize(out.PointResults(sweep.Point{Model: model, Senders: senders}))
 }
 
 // goodputFigure builds Figures 5 (SH) and 8 (MH).
@@ -121,13 +170,14 @@ func (s Scale) goodputFigure(c Case, title string) (metrics.Table, error) {
 		XLabel: "senders",
 		YLabel: "goodput",
 	}
+	out, err := s.gridOutcome(c, netsim.ModelSensor, netsim.ModelWifi)
+	if err != nil {
+		return tbl, err
+	}
 	for _, burst := range s.Bursts {
 		series := metrics.Series{Label: fmt.Sprintf("DualRadio-%d", burst)}
 		for _, n := range s.Senders {
-			r, err := s.cell(c, netsim.ModelDual, n, burst)
-			if err != nil {
-				return tbl, err
-			}
+			r := dualCell(out, n, burst)
 			series.X = append(series.X, float64(n))
 			series.Y = append(series.Y, r.goodput)
 		}
@@ -136,10 +186,7 @@ func (s Scale) goodputFigure(c Case, title string) (metrics.Table, error) {
 	for _, model := range []netsim.Model{netsim.ModelSensor, netsim.ModelWifi} {
 		series := metrics.Series{Label: modelLabel(model)}
 		for _, n := range s.Senders {
-			r, err := s.cell(c, model, n, 0)
-			if err != nil {
-				return tbl, err
-			}
+			r := baselineCell(out, model, n)
 			series.X = append(series.X, float64(n))
 			series.Y = append(series.Y, r.goodput)
 		}
@@ -155,13 +202,14 @@ func (s Scale) energyFigure(c Case, title string) (metrics.Table, error) {
 		XLabel: "senders",
 		YLabel: "normalized energy (J/Kbit)",
 	}
+	out, err := s.gridOutcome(c, netsim.ModelSensor)
+	if err != nil {
+		return tbl, err
+	}
 	for _, burst := range s.Bursts {
 		series := metrics.Series{Label: fmt.Sprintf("DualRadio-%d", burst)}
 		for _, n := range s.Senders {
-			r, err := s.cell(c, netsim.ModelDual, n, burst)
-			if err != nil {
-				return tbl, err
-			}
+			r := dualCell(out, n, burst)
 			series.X = append(series.X, float64(n))
 			series.Y = append(series.Y, r.normE)
 		}
@@ -170,10 +218,7 @@ func (s Scale) energyFigure(c Case, title string) (metrics.Table, error) {
 	ideal := metrics.Series{Label: "Sensor-ideal"}
 	header := metrics.Series{Label: "Sensor-header"}
 	for _, n := range s.Senders {
-		r, err := s.cell(c, netsim.ModelSensor, n, 0)
-		if err != nil {
-			return tbl, err
-		}
+		r := baselineCell(out, netsim.ModelSensor, n)
 		ideal.X = append(ideal.X, float64(n))
 		ideal.Y = append(ideal.Y, r.idealE)
 		header.X = append(header.X, float64(n))
@@ -195,15 +240,16 @@ func (s Scale) delayFigure(c Case, title string) (metrics.Table, error) {
 		XLabel: "delay(s)",
 		YLabel: "normalized energy (J/Kbit)",
 	}
+	out, err := s.gridOutcome(c)
+	if err != nil {
+		return tbl, err
+	}
 	for _, n := range s.Senders {
 		series := metrics.Series{
 			Label: fmt.Sprintf("%.1fKbps-%d", rate.BitsPerSecond()/1000, n),
 		}
 		for _, burst := range s.Bursts {
-			r, err := s.cell(c, netsim.ModelDual, n, burst)
-			if err != nil {
-				return tbl, err
-			}
+			r := dualCell(out, n, burst)
 			series.X = append(series.X, r.delay.Seconds())
 			series.Y = append(series.Y, r.normE)
 		}

@@ -2,6 +2,9 @@ package netsim
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"bulktx/internal/core"
@@ -153,7 +156,14 @@ func runInstrumented(cfg Config, probe func(i int, wifi *energy.Meter, on bool))
 	var overhear units.Energy
 	for _, m := range sensorM {
 		by := m.Transceiver().Meter().ByState()
-		for state, e := range by {
+		// Sum in canonical state order: float addition is not
+		// associative, and map-order iteration would make TotalEnergy
+		// vary in its last bits from run to run.
+		for _, state := range energy.States() {
+			e, ok := by[state]
+			if !ok {
+				continue
+			}
 			if state == energy.Overhear {
 				overhear += e
 			}
@@ -446,20 +456,53 @@ func addAgentStats(a, b core.Stats) core.Stats {
 	return a
 }
 
-// RunMany executes n runs with seeds base..base+n-1 and returns results.
+// RunMany executes n runs with seeds base..base+n-1 and returns results
+// in seed order. Repetitions execute concurrently (up to
+// runtime.NumCPU workers); every run derives all of its randomness
+// from its own seed and shares no state with its siblings, so the
+// output is identical to serial execution. Grid sweeps should prefer
+// the sweep package, which adds cross-cell batching and result
+// caching on top of the same parallelism.
 func RunMany(cfg Config, runs int, baseSeed int64) ([]Result, error) {
+	return RunManyWorkers(cfg, runs, baseSeed, 0)
+}
+
+// RunManyWorkers is RunMany with an explicit concurrency limit
+// (workers < 1 selects runtime.NumCPU()).
+func RunManyWorkers(cfg Config, runs int, baseSeed int64, workers int) ([]Result, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("netsim: runs %d < 1", runs)
 	}
-	out := make([]Result, 0, runs)
-	for r := 0; r < runs; r++ {
-		c := cfg
-		c.Seed = baseSeed + int64(r)
-		res, err := Run(c)
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if workers > runs {
+		workers = runs
+	}
+	out := make([]Result, runs)
+	errs := make([]error, runs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				r := int(next.Add(1)) - 1
+				if r >= runs {
+					return
+				}
+				c := cfg
+				c.Seed = baseSeed + int64(r)
+				out[r], errs[r] = Run(c)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, res)
 	}
 	return out, nil
 }

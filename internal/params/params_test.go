@@ -1,0 +1,133 @@
+package params
+
+import (
+	"testing"
+	"time"
+
+	"bulktx/internal/units"
+)
+
+func TestBurstSizesOrderedAndPositive(t *testing.T) {
+	sizes := BurstSizes()
+	if len(sizes) == 0 {
+		t.Fatal("no burst sizes")
+	}
+	prev := 0
+	for i, s := range sizes {
+		if s <= 0 {
+			t.Errorf("burst size %d at index %d is not positive", s, i)
+		}
+		if s <= prev {
+			t.Errorf("burst sizes not strictly increasing at index %d: %d after %d", i, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestBurstSizesMatchPaper(t *testing.T) {
+	// Section 4.1 evaluates alpha-s* thresholds of 10/100/500/1000/2500
+	// sensor packets.
+	want := []int{10, 100, 500, 1000, 2500}
+	got := BurstSizes()
+	if len(got) != len(want) {
+		t.Fatalf("burst sizes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("burst size[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBurstSizesReturnsFreshSlice(t *testing.T) {
+	a := BurstSizes()
+	a[0] = -1
+	if b := BurstSizes(); b[0] != 10 {
+		t.Error("BurstSizes shares backing storage with its callers")
+	}
+}
+
+func TestPacketGeometryMatchesPaper(t *testing.T) {
+	// Section 4.1 fixes the payloads: 32 B sensor packets, 1024 B
+	// 802.11 packets, and a 5000-packet buffer.
+	if SensorPayload != 32 {
+		t.Errorf("SensorPayload = %v, want 32 B", SensorPayload)
+	}
+	if WifiPayload != 1024 {
+		t.Errorf("WifiPayload = %v, want 1024 B", WifiPayload)
+	}
+	if BufferPackets != 5000 {
+		t.Errorf("BufferPackets = %v, want 5000", BufferPackets)
+	}
+	// Headers and control sizes are stack conventions, not paper
+	// values, but must stay positive and small relative to payloads.
+	if SensorHeader <= 0 || SensorHeader >= SensorPayload {
+		t.Errorf("SensorHeader = %v outside (0, %v)", SensorHeader, SensorPayload)
+	}
+	if WifiHeader <= 0 || WifiHeader >= WifiPayload {
+		t.Errorf("WifiHeader = %v outside (0, %v)", WifiHeader, WifiPayload)
+	}
+	if ControlPayload <= 0 {
+		t.Errorf("ControlPayload = %v, want positive", ControlPayload)
+	}
+}
+
+func TestEvaluationGeometryMatchesPaper(t *testing.T) {
+	// Section 4.1: 36 nodes on a 200 m field, 5000 s runs, 20 seeds.
+	if GridNodes != 36 {
+		t.Errorf("GridNodes = %v, want 36", GridNodes)
+	}
+	if FieldSize != units.Meters(200) {
+		t.Errorf("FieldSize = %v, want 200 m", FieldSize)
+	}
+	if SimDuration != 5000*time.Second {
+		t.Errorf("SimDuration = %v, want 5000 s", SimDuration)
+	}
+	if Runs != 20 {
+		t.Errorf("Runs = %v, want 20", Runs)
+	}
+}
+
+func TestRadioRangesMatchPaper(t *testing.T) {
+	// Section 2.2 / Table 1: 40 m sensor radio; 250 m 802.11 at low
+	// rate; 11 Mbps 802.11 assumed equal to the sensor range.
+	if SensorRange != units.Meters(40) {
+		t.Errorf("SensorRange = %v, want 40 m", SensorRange)
+	}
+	if WifiLongRange != units.Meters(250) {
+		t.Errorf("WifiLongRange = %v, want 250 m", WifiLongRange)
+	}
+	if WifiShortRange != SensorRange {
+		t.Errorf("WifiShortRange = %v, want the sensor range %v", WifiShortRange, SensorRange)
+	}
+}
+
+func TestTrafficRatesMatchPaper(t *testing.T) {
+	// Section 4.1 evaluates 0.2 Kbps (single-hop) and 2 Kbps
+	// (multi-hop) per-sender rates.
+	if LowRate != units.BitRate(200) {
+		t.Errorf("LowRate = %v, want 200 b/s", LowRate)
+	}
+	if HighRate != units.BitRate(2000) {
+		t.Errorf("HighRate = %v, want 2000 b/s", HighRate)
+	}
+	if HighRate <= LowRate {
+		t.Error("HighRate not above LowRate")
+	}
+}
+
+func TestTimingBoundsSane(t *testing.T) {
+	for name, d := range map[string]time.Duration{
+		"WifiWakeupLatency":   WifiWakeupLatency,
+		"ReceiverIdleTimeout": ReceiverIdleTimeout,
+		"SenderAckTimeout":    SenderAckTimeout,
+		"PostBurstIdle":       PostBurstIdle,
+	} {
+		if d <= 0 {
+			t.Errorf("%s = %v, want positive", name, d)
+		}
+	}
+	if WakeupMaxRetries < 1 {
+		t.Errorf("WakeupMaxRetries = %v, want >= 1", WakeupMaxRetries)
+	}
+}

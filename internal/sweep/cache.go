@@ -1,0 +1,147 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"bulktx/internal/netsim"
+)
+
+// cacheSchema versions the cache key space. Bump it whenever the
+// simulator's behavior changes (new charging rule, protocol fix, ...):
+// old entries become unreachable instead of silently stale. Deleting
+// the cache directory is always safe — entries are pure memoization.
+const cacheSchema = 1
+
+// Key derives the content key of one run: a SHA-256 over the cache
+// schema version and the canonical JSON encoding of the full
+// configuration (including the seed). Two configs share a key iff they
+// describe the same simulation.
+func Key(cfg netsim.Config) (string, error) {
+	enc, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("sweep: encoding config key: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "bulktx-sweep-v%d:", cacheSchema)
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Cache memoizes run results by content key. The in-memory map is
+// always on; when constructed with NewDiskCache, entries are also
+// persisted as one JSON file per key under the cache directory, so
+// results survive across processes. All methods are safe for
+// concurrent use.
+type Cache struct {
+	mu  sync.Mutex
+	mem map[string]netsim.Result
+	dir string // "" = memory only
+}
+
+// NewCache returns an in-memory (process-lifetime) cache.
+func NewCache() *Cache {
+	return &Cache{mem: make(map[string]netsim.Result)}
+}
+
+// NewDiskCache returns a cache backed by dir (created if missing) in
+// addition to the in-memory map.
+func NewDiskCache(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sweep: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: creating cache dir: %w", err)
+	}
+	return &Cache{mem: make(map[string]netsim.Result), dir: dir}, nil
+}
+
+// Dir reports the on-disk directory ("" for memory-only caches).
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Len reports the number of in-memory entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get looks the key up in memory, then (if configured) on disk.
+// Disk corruption is treated as a miss, never an error.
+func (c *Cache) Get(key string) (netsim.Result, bool) {
+	if c == nil {
+		return netsim.Result{}, false
+	}
+	c.mu.Lock()
+	res, ok := c.mem[key]
+	c.mu.Unlock()
+	if ok || c.dir == "" {
+		return res, ok
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return netsim.Result{}, false
+	}
+	var disk netsim.Result
+	if err := json.Unmarshal(data, &disk); err != nil {
+		return netsim.Result{}, false
+	}
+	c.mu.Lock()
+	c.mem[key] = disk
+	c.mu.Unlock()
+	return disk, true
+}
+
+// Put stores the result under key, persisting it to disk when the
+// cache has a directory. Disk writes are atomic (temp file + rename)
+// so a crashed run never leaves a truncated entry behind.
+func (c *Cache) Put(key string, res netsim.Result) error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.mem[key] = res
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("sweep: encoding cached result: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sweep: writing cache entry: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: writing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: writing cache entry: %w", err)
+	}
+	return nil
+}

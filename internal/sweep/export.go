@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// exportCell is the stable JSON shape of one summarized grid point.
+type exportCell struct {
+	Model   string `json:"model"`
+	Senders int    `json:"senders"`
+	Burst   int    `json:"burst_packets"`
+	Traffic string `json:"traffic"`
+	Runs    int    `json:"runs"`
+
+	Goodput       float64 `json:"goodput"`
+	GoodputCI     float64 `json:"goodput_ci95"`
+	NormEnergy    float64 `json:"norm_energy_j_per_kbit"`
+	NormEnergyCI  float64 `json:"norm_energy_ci95"`
+	IdealEnergy   float64 `json:"ideal_energy_j_per_kbit"`
+	IdealEnergyCI float64 `json:"ideal_energy_ci95"`
+	MeanDelayS    float64 `json:"mean_delay_s"`
+}
+
+func toExportCell(c CellSummary) exportCell {
+	return exportCell{
+		Model:         c.Point.Model.String(),
+		Senders:       c.Point.Senders,
+		Burst:         c.Point.Burst,
+		Traffic:       c.Point.Traffic.String(),
+		Runs:          c.Runs,
+		Goodput:       c.Goodput.Mean,
+		GoodputCI:     c.Goodput.CI95,
+		NormEnergy:    c.NormEnergy.Mean,
+		NormEnergyCI:  c.NormEnergy.CI95,
+		IdealEnergy:   c.IdealEnergy.Mean,
+		IdealEnergyCI: c.IdealEnergy.CI95,
+		MeanDelayS:    c.MeanDelay.Seconds(),
+	}
+}
+
+// WriteJSON exports the outcome's per-cell summaries as an indented
+// JSON document: {"cells": [...], "jobs": N, "cached": M}.
+func WriteJSON(w io.Writer, o *Outcome) error {
+	doc := struct {
+		Jobs   int          `json:"jobs"`
+		Cached int          `json:"cached"`
+		Cells  []exportCell `json:"cells"`
+	}{Jobs: len(o.Jobs), Cached: o.Cached, Cells: []exportCell{}}
+	for _, c := range o.Cells() {
+		doc.Cells = append(doc.Cells, toExportCell(c))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// csvHeader is the fixed column order of WriteCSV.
+var csvHeader = []string{
+	"model", "senders", "burst_packets", "traffic", "runs",
+	"goodput", "goodput_ci95",
+	"norm_energy_j_per_kbit", "norm_energy_ci95",
+	"ideal_energy_j_per_kbit", "ideal_energy_ci95",
+	"mean_delay_s",
+}
+
+// WriteCSV exports the outcome's per-cell summaries as CSV, one row
+// per grid point, with a header row.
+func WriteCSV(w io.Writer, o *Outcome) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("sweep: csv export: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, cell := range o.Cells() {
+		e := toExportCell(cell)
+		row := []string{
+			e.Model, strconv.Itoa(e.Senders), strconv.Itoa(e.Burst),
+			e.Traffic, strconv.Itoa(e.Runs),
+			f(e.Goodput), f(e.GoodputCI),
+			f(e.NormEnergy), f(e.NormEnergyCI),
+			f(e.IdealEnergy), f(e.IdealEnergyCI),
+			f(e.MeanDelayS),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("sweep: csv export: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("sweep: csv export: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"bulktx/internal/metrics"
+	"bulktx/internal/netsim"
+)
+
+// Outcome is an executed sweep: the job list and one result per job,
+// plus how many jobs were served from the cache.
+type Outcome struct {
+	Jobs    []Job
+	Results []netsim.Result
+	Cached  int
+}
+
+// PointResults returns the results of one grid point in repetition
+// order (nil if the point is not part of the sweep).
+func (o *Outcome) PointResults(pt Point) []netsim.Result {
+	var out []netsim.Result
+	for i, job := range o.Jobs {
+		if job.Point == pt {
+			out = append(out, o.Results[i])
+		}
+	}
+	return out
+}
+
+// CellSummary reduces one grid point's repetitions to the paper's
+// metrics: mean and 95% CI over seeds for goodput and normalized
+// energy (total and overhearing-free), plus the mean delay.
+type CellSummary struct {
+	Point Point
+	// Runs is the number of seeded repetitions behind the summaries.
+	Runs    int
+	Goodput metrics.Summary
+	// NormEnergy is normalized energy under the model's full charging
+	// policy; IdealEnergy excludes overhearing charges (sensor model).
+	NormEnergy, IdealEnergy metrics.Summary
+	MeanDelay               time.Duration
+}
+
+// Cells groups the outcome per grid point (in first-appearance job
+// order) and summarizes each.
+func (o *Outcome) Cells() []CellSummary {
+	var order []Point
+	grouped := make(map[Point][]netsim.Result)
+	for i, job := range o.Jobs {
+		if _, ok := grouped[job.Point]; !ok {
+			order = append(order, job.Point)
+		}
+		grouped[job.Point] = append(grouped[job.Point], o.Results[i])
+	}
+	cells := make([]CellSummary, 0, len(order))
+	for _, pt := range order {
+		rs := grouped[pt]
+		g, e, ie, d := netsim.Summaries(rs)
+		cells = append(cells, CellSummary{
+			Point:       pt,
+			Runs:        len(rs),
+			Goodput:     g,
+			NormEnergy:  e,
+			IdealEnergy: ie,
+			MeanDelay:   d,
+		})
+	}
+	return cells
+}
+
+// Metric selects which summarized quantity a table or export column
+// carries.
+type Metric int
+
+// Exportable metrics.
+const (
+	// MetricGoodput is delivered over generated bits.
+	MetricGoodput Metric = iota
+	// MetricNormEnergy is J/Kbit under the model's charging policy.
+	MetricNormEnergy
+	// MetricIdealEnergy is J/Kbit without overhearing charges.
+	MetricIdealEnergy
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricNormEnergy:
+		return "norm-energy(J/Kbit)"
+	case MetricIdealEnergy:
+		return "ideal-energy(J/Kbit)"
+	default:
+		return "goodput"
+	}
+}
+
+// value extracts the metric from a cell.
+func (m Metric) value(c CellSummary) metrics.Summary {
+	switch m {
+	case MetricNormEnergy:
+		return c.NormEnergy
+	case MetricIdealEnergy:
+		return c.IdealEnergy
+	default:
+		return c.Goodput
+	}
+}
+
+// Table renders the outcome as a metrics.Table: senders on the x axis,
+// one series per (model, burst, traffic) combination present in the
+// sweep, carrying the chosen metric.
+func (o *Outcome) Table(title string, metric Metric) metrics.Table {
+	tbl := metrics.Table{
+		Title:  title,
+		XLabel: "senders",
+		YLabel: metric.String(),
+	}
+	type curve struct {
+		Model   netsim.Model
+		Burst   int
+		Traffic netsim.Traffic
+	}
+	var order []curve
+	series := make(map[curve]*metrics.Series)
+	for _, c := range o.Cells() {
+		k := curve{c.Point.Model, c.Point.Burst, c.Point.Traffic}
+		s, ok := series[k]
+		if !ok {
+			label := k.Model.String()
+			if k.Model == netsim.ModelDual {
+				label = fmt.Sprintf("DualRadio-%d", k.Burst)
+			}
+			if k.Traffic != netsim.TrafficCBR {
+				label += "/" + k.Traffic.String()
+			}
+			s = &metrics.Series{Label: label}
+			series[k] = s
+			order = append(order, k)
+		}
+		s.X = append(s.X, float64(c.Point.Senders))
+		s.Y = append(s.Y, metric.value(c))
+	}
+	for _, k := range order {
+		tbl.Series = append(tbl.Series, *series[k])
+	}
+	return tbl
+}

@@ -1,0 +1,226 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bulktx/internal/netsim"
+)
+
+// Pool executes sweep jobs on a fixed-size worker pool. The zero value
+// is usable: runtime.NumCPU workers, no cache, no progress reporting.
+// A Pool is safe for concurrent use; one Run call's jobs never
+// interleave state with another's (netsim runs share nothing).
+type Pool struct {
+	// Workers is the concurrency limit; values < 1 select
+	// runtime.NumCPU().
+	Workers int
+
+	// Cache, when non-nil, memoizes results by content key across Run
+	// calls (and across processes for disk-backed caches).
+	Cache *Cache
+
+	// Progress, when non-nil, is called after each job resolves with
+	// the number of jobs done so far and the total. Calls are
+	// serialized but may come from any worker goroutine.
+	Progress func(done, total int)
+}
+
+func (p *Pool) workers() int {
+	if p.Workers > 0 {
+		return p.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Run executes the jobs and returns one result per job, in job order
+// regardless of scheduling: result i is always job i's, so a parallel
+// pool is byte-identical to serial execution. Jobs with identical
+// configurations (same content key) are simulated once and fanned out.
+// On failure Run reports the lowest-indexed error among the jobs that
+// ran (remaining jobs are abandoned, so which jobs ran — and hence
+// which error surfaces — can vary with scheduling).
+func (p *Pool) Run(jobs []Job) ([]netsim.Result, error) {
+	results, _, err := p.run(jobs)
+	return results, err
+}
+
+// run is Run plus the number of jobs served from the cache.
+func (p *Pool) run(jobs []Job) ([]netsim.Result, int, error) {
+	total := len(jobs)
+	results := make([]netsim.Result, total)
+	if total == 0 {
+		return results, 0, nil
+	}
+
+	// Resolve duplicates and cache hits up front. primary maps a
+	// content key to the first job index carrying it; later indices
+	// with the same key become aliases filled in after execution.
+	keys := make([]string, total)
+	primary := make(map[string]int, total)
+	var execIdx []int // indices to actually simulate
+	cached := 0
+	var done int
+	var progressMu sync.Mutex
+	report := func(n int) {
+		progressMu.Lock()
+		done += n
+		if p.Progress != nil {
+			p.Progress(done, total)
+		}
+		progressMu.Unlock()
+	}
+	for i, job := range jobs {
+		key, err := Key(job.Config)
+		if err != nil {
+			return nil, 0, err
+		}
+		keys[i] = key
+		if _, dup := primary[key]; dup {
+			continue
+		}
+		primary[key] = i
+		if res, ok := p.Cache.Get(key); ok {
+			results[i] = res
+			cached++
+			continue
+		}
+		execIdx = append(execIdx, i)
+	}
+
+	// Execute the unique misses on the worker pool.
+	var (
+		failed  atomic.Bool
+		errMu   sync.Mutex
+		errIdx  = -1
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	work := make(chan int)
+	workers := p.workers()
+	if workers > len(execIdx) {
+		workers = len(execIdx)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				if failed.Load() {
+					continue
+				}
+				res, err := netsim.Run(jobs[i].Config)
+				if err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					errMu.Unlock()
+					continue
+				}
+				results[i] = res
+				if err := p.Cache.Put(keys[i], res); err != nil {
+					failed.Store(true)
+					errMu.Lock()
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstEr = i, err
+					}
+					errMu.Unlock()
+					continue
+				}
+				report(1)
+			}
+		}()
+	}
+	for _, i := range execIdx {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstEr != nil {
+		return nil, 0, fmt.Errorf("sweep: job %d (%v rep %d): %w",
+			errIdx, jobs[errIdx].Point, jobs[errIdx].Rep, firstEr)
+	}
+
+	// Fan primaries out to their aliases and account cached jobs.
+	fanned := 0
+	for i := range jobs {
+		if pi := primary[keys[i]]; pi != i {
+			results[i] = results[pi]
+			fanned++
+		}
+	}
+	if n := cached + fanned; n > 0 {
+		report(n)
+	}
+	return results, cached, nil
+}
+
+// RunSpec compiles the spec and executes it, returning the grouped
+// outcome.
+func (p *Pool) RunSpec(spec Spec) (*Outcome, error) {
+	jobs, err := spec.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	return p.RunJobs(jobs)
+}
+
+// RunJobs executes an explicit job list (e.g. several specs' jobs
+// concatenated into one batch) and returns the grouped outcome.
+func (p *Pool) RunJobs(jobs []Job) (*Outcome, error) {
+	results, cached, err := p.run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Jobs: jobs, Results: results, Cached: cached}, nil
+}
+
+// Grid runs every configuration with runs seeded repetitions (seeds
+// baseSeed..baseSeed+runs-1, common across configs) and returns the
+// per-configuration result groups, in input order. It is the batched,
+// cached, parallel replacement for calling netsim.RunMany per cell.
+func (p *Pool) Grid(cfgs []netsim.Config, runs int, baseSeed int64) ([][]netsim.Result, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("sweep: runs %d < 1", runs)
+	}
+	jobs := make([]Job, 0, len(cfgs)*runs)
+	for _, cfg := range cfgs {
+		for r := 0; r < runs; r++ {
+			c := cfg
+			c.Seed = baseSeed + int64(r)
+			jobs = append(jobs, Job{
+				Point: Point{
+					Model:   c.Model,
+					Senders: c.Senders,
+					Burst:   c.BurstPackets,
+					Traffic: c.Traffic,
+				},
+				Rep:    r,
+				Config: c,
+			})
+		}
+	}
+	flat, err := p.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]netsim.Result, len(cfgs))
+	for i := range cfgs {
+		out[i] = flat[i*runs : (i+1)*runs : (i+1)*runs]
+	}
+	return out, nil
+}
+
+// Reps runs one configuration with runs seeded repetitions — the
+// pooled, cached equivalent of netsim.RunMany.
+func (p *Pool) Reps(cfg netsim.Config, runs int, baseSeed int64) ([]netsim.Result, error) {
+	groups, err := p.Grid([]netsim.Config{cfg}, runs, baseSeed)
+	if err != nil {
+		return nil, err
+	}
+	return groups[0], nil
+}

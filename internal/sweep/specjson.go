@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"bulktx/internal/netsim"
+	"bulktx/internal/units"
+)
+
+// SpecDoc is the human-editable JSON form of a Spec, as consumed by
+// cmd/bcp-sweep. Radios, rates and durations use friendly units;
+// omitted fields fall back to the paper's scenario ("case" selects the
+// single-hop or multi-hop template).
+type SpecDoc struct {
+	// Case is "single-hop" (default; Lucent 11 Mbps at sensor range) or
+	// "multi-hop" (Cabletron reaching the sink in one hop).
+	Case string `json:"case,omitempty"`
+
+	// Models are swept model names: "dual", "sensor", "802.11"/"wifi".
+	Models []string `json:"models,omitempty"`
+	// Senders and Bursts are the swept sender counts and alpha-s*
+	// thresholds (sensor packets).
+	Senders []int `json:"senders,omitempty"`
+	Bursts  []int `json:"bursts,omitempty"`
+	// Traffics are swept arrival processes: "cbr", "poisson", "onoff".
+	Traffics []string `json:"traffics,omitempty"`
+
+	// Runs and Seed control the seeded repetitions per point.
+	Runs int   `json:"runs,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+
+	// RateBps and DurationS override the per-sender application rate
+	// and the simulated run length.
+	RateBps   float64 `json:"rate_bps,omitempty"`
+	DurationS float64 `json:"duration_s,omitempty"`
+
+	// Scenario knobs carried into every job's configuration.
+	SensorLoss        float64 `json:"sensor_loss,omitempty"`
+	WifiLoss          float64 `json:"wifi_loss,omitempty"`
+	MinGrantPackets   int     `json:"min_grant_packets,omitempty"`
+	AdaptiveAlpha     float64 `json:"adaptive_alpha,omitempty"`
+	DelayBoundS       float64 `json:"delay_bound_s,omitempty"`
+	PostBurstLingerMs float64 `json:"post_burst_linger_ms,omitempty"`
+	ShortcutLearner   bool    `json:"shortcut_learner,omitempty"`
+}
+
+// ParseModel resolves a model name ("dual", "sensor", "802.11",
+// "wifi").
+func ParseModel(name string) (netsim.Model, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "sensor":
+		return netsim.ModelSensor, nil
+	case "wifi", "802.11":
+		return netsim.ModelWifi, nil
+	case "dual", "dual-radio":
+		return netsim.ModelDual, nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown model %q (want dual, sensor or 802.11)", name)
+	}
+}
+
+// ParseTraffic resolves a traffic-model name ("cbr", "poisson",
+// "onoff").
+func ParseTraffic(name string) (netsim.Traffic, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "cbr":
+		return netsim.TrafficCBR, nil
+	case "poisson":
+		return netsim.TrafficPoisson, nil
+	case "onoff", "on-off":
+		return netsim.TrafficOnOff, nil
+	default:
+		return 0, fmt.Errorf("sweep: unknown traffic model %q (want cbr, poisson or onoff)", name)
+	}
+}
+
+// Spec materializes the document into an executable Spec.
+func (d SpecDoc) Spec() (Spec, error) {
+	senders := d.Senders
+	if len(senders) == 0 {
+		senders = []int{15}
+	}
+	bursts := d.Bursts
+	if len(bursts) == 0 {
+		bursts = []int{100}
+	}
+
+	var base netsim.Config
+	switch strings.ToLower(strings.TrimSpace(d.Case)) {
+	case "", "sh", "single-hop":
+		base = netsim.DefaultConfig(netsim.ModelDual, senders[0], bursts[0], d.Seed)
+	case "mh", "multi-hop":
+		base = netsim.MultiHopConfig(senders[0], bursts[0], d.Seed)
+	default:
+		return Spec{}, fmt.Errorf("sweep: unknown case %q (want single-hop or multi-hop)", d.Case)
+	}
+	if d.RateBps > 0 {
+		base.Rate = units.BitRate(d.RateBps)
+	}
+	if d.DurationS > 0 {
+		base.Duration = time.Duration(d.DurationS * float64(time.Second))
+	}
+	base.SensorLoss = d.SensorLoss
+	base.WifiLoss = d.WifiLoss
+	base.MinGrantPackets = d.MinGrantPackets
+	base.AdaptiveThresholdAlpha = d.AdaptiveAlpha
+	base.DelayBound = time.Duration(d.DelayBoundS * float64(time.Second))
+	base.PostBurstLinger = time.Duration(d.PostBurstLingerMs * float64(time.Millisecond))
+	base.UseShortcutLearner = d.ShortcutLearner
+
+	spec := Spec{
+		Base:     base,
+		Senders:  senders,
+		Bursts:   bursts,
+		Runs:     d.Runs,
+		BaseSeed: d.Seed,
+	}
+	for _, name := range d.Models {
+		m, err := ParseModel(name)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Models = append(spec.Models, m)
+	}
+	for _, name := range d.Traffics {
+		tr, err := ParseTraffic(name)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Traffics = append(spec.Traffics, tr)
+	}
+	return spec, nil
+}
+
+// ParseSpecJSON decodes a SpecDoc document (rejecting unknown fields,
+// so typos fail loudly) and materializes it.
+func ParseSpecJSON(data []byte) (Spec, error) {
+	var doc SpecDoc
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return Spec{}, fmt.Errorf("sweep: parsing spec: %w", err)
+	}
+	return doc.Spec()
+}

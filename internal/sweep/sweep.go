@@ -1,0 +1,156 @@
+// Package sweep orchestrates grids of seeded network-simulation runs —
+// the shape of every evaluation in the paper (Section 4.1: senders x
+// burst sizes x models x 20 seeds) and of the ablations around it.
+//
+// A Spec declares the grid as axes over a base netsim.Config template.
+// Spec.Jobs compiles it into a flat, deterministically ordered and
+// seeded job list; a Pool executes jobs on a fixed-size worker pool
+// (default runtime.NumCPU) and returns results indexed by job, so
+// parallel output is byte-identical to serial execution of the same
+// list. An optional Cache (in-memory, optionally backed by an on-disk
+// directory) keys results by a hash of the full run configuration, so
+// re-running an overlapping sweep only simulates the new points.
+// Outcome groups results back per grid point, summarizes them
+// (mean / 95% CI over seeds) and exports JSON, CSV or metrics.Table.
+package sweep
+
+import (
+	"fmt"
+
+	"bulktx/internal/netsim"
+)
+
+// Point identifies one cell of a sweep grid: the axis coordinates
+// shared by all of the cell's seeded repetitions. Burst is 0 for
+// non-dual models (the threshold axis collapses: it has no effect on
+// the baseline models).
+type Point struct {
+	Model   netsim.Model
+	Senders int
+	Burst   int
+	Traffic netsim.Traffic
+}
+
+// String renders the point compactly ("dual-radio/s15/b500/cbr").
+func (p Point) String() string {
+	return fmt.Sprintf("%s/s%d/b%d/%s", p.Model, p.Senders, p.Burst, p.Traffic)
+}
+
+// Job is one simulation run of a sweep: a grid point, the repetition
+// index within the point, and the fully resolved run configuration.
+type Job struct {
+	Point  Point
+	Rep    int
+	Config netsim.Config
+}
+
+// Spec declares a sweep grid over a base configuration template. Axis
+// slices left nil default to the base config's own value, so a zero
+// axis means "don't sweep this dimension".
+type Spec struct {
+	// Base is the configuration template: every job starts as a copy of
+	// Base and then has its axis fields and seed overwritten.
+	Base netsim.Config
+
+	// Models, Senders, Bursts and Traffics are the swept axes.
+	Models   []netsim.Model
+	Senders  []int
+	Bursts   []int
+	Traffics []netsim.Traffic
+
+	// Runs is the number of seeded repetitions per grid point
+	// (default 1).
+	Runs int
+
+	// BaseSeed seeds the repetitions: rep r runs with seed BaseSeed+r,
+	// identically across grid points (the paper's common-random-numbers
+	// convention).
+	BaseSeed int64
+}
+
+// axes resolves the axis slices against the base template.
+func (s Spec) axes() (models []netsim.Model, senders, bursts []int, traffics []netsim.Traffic, runs int) {
+	models = s.Models
+	if len(models) == 0 {
+		models = []netsim.Model{s.Base.Model}
+	}
+	senders = s.Senders
+	if len(senders) == 0 {
+		senders = []int{s.Base.Senders}
+	}
+	bursts = s.Bursts
+	if len(bursts) == 0 {
+		bursts = []int{s.Base.BurstPackets}
+	}
+	traffics = s.Traffics
+	if len(traffics) == 0 {
+		traffics = []netsim.Traffic{s.Base.Traffic}
+	}
+	runs = s.Runs
+	if runs == 0 {
+		runs = 1
+	}
+	return models, senders, bursts, traffics, runs
+}
+
+// Jobs compiles the spec into its flat job list, ordered
+// model-major, then senders, bursts, traffic, repetition. For non-dual
+// models the burst axis collapses to a single job per (senders,
+// traffic, rep) with BurstPackets pinned to 1 (validated but unused by
+// those models), so baselines are not redundantly re-simulated per
+// burst size. Every job's configuration is validated.
+func (s Spec) Jobs() ([]Job, error) {
+	if s.Runs < 0 {
+		return nil, fmt.Errorf("sweep: negative runs %d", s.Runs)
+	}
+	models, senders, bursts, traffics, runs := s.axes()
+	var jobs []Job
+	for _, m := range models {
+		mBursts := bursts
+		if m != netsim.ModelDual {
+			mBursts = []int{0}
+		}
+		for _, n := range senders {
+			for _, b := range mBursts {
+				for _, tr := range traffics {
+					for r := 0; r < runs; r++ {
+						cfg := s.Base
+						cfg.Model = m
+						cfg.Senders = n
+						cfg.BurstPackets = b
+						if m != netsim.ModelDual {
+							cfg.BurstPackets = 1
+						}
+						cfg.Traffic = tr
+						cfg.Seed = s.BaseSeed + int64(r)
+						if err := cfg.Validate(); err != nil {
+							return nil, fmt.Errorf("sweep: job %v rep %d: %w",
+								Point{m, n, b, tr}, r, err)
+						}
+						jobs = append(jobs, Job{
+							Point:  Point{Model: m, Senders: n, Burst: b, Traffic: tr},
+							Rep:    r,
+							Config: cfg,
+						})
+					}
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// Size is the number of jobs the spec compiles to, without validating
+// them.
+func (s Spec) Size() int {
+	models, senders, bursts, traffics, runs := s.axes()
+	n := 0
+	for _, m := range models {
+		per := len(senders) * len(traffics) * runs
+		if m == netsim.ModelDual {
+			per *= len(bursts)
+		}
+		n += per
+	}
+	return n
+}
