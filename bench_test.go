@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bulktx"
+	"bulktx/internal/bench"
 	"bulktx/internal/experiments"
 	"bulktx/internal/metrics"
 	"bulktx/internal/params"
@@ -90,23 +91,9 @@ func BenchmarkAblationMinGrant(b *testing.B) { benchArtifact(b, "ablation-mingra
 func BenchmarkAblationLoss(b *testing.B)     { benchArtifact(b, "ablation-loss") }
 
 // BenchmarkSimulationThroughput measures raw simulator speed: events per
-// second on one dual-radio run (15 senders, burst 100, 2 Kbps).
-func BenchmarkSimulationThroughput(b *testing.B) {
-	cfg := bulktx.NewSimConfig(bulktx.ModelDual, 15, 100, 1)
-	cfg.Duration = 60 * time.Second
-	cfg.Rate = 2 * bulktx.Kbps
-	b.ReportAllocs()
-	var events uint64
-	for i := 0; i < b.N; i++ {
-		cfg.Seed = int64(i + 1)
-		res, err := bulktx.RunSimulation(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		events += res.Events
-	}
-	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
-}
+// second on one dual-radio run (15 senders, burst 100, 2 Kbps). The body
+// lives in internal/bench, shared with cmd/bcp-bench's JSON baselines.
+func BenchmarkSimulationThroughput(b *testing.B) { bench.SimulationThroughput(b) }
 
 // BenchmarkBreakEvenSolve measures one discrete break-even search.
 func BenchmarkBreakEvenSolve(b *testing.B) {

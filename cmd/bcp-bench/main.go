@@ -1,0 +1,101 @@
+// Command bcp-bench measures the repository's core performance
+// benchmarks with testing.Benchmark and writes the results as JSON, so
+// the performance trajectory of the event core is tracked in-tree from
+// PR to PR (BENCH_PR2.json is the first committed baseline).
+//
+// Usage:
+//
+//	bcp-bench [-o BENCH_PR2.json] [-benchtime 1s]
+//
+// The emitted JSON carries ns/op, B/op, allocs/op and any custom
+// benchmark metrics (events/s for the simulation throughput benchmark)
+// plus enough environment metadata to compare runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bulktx/internal/bench"
+)
+
+// report is the serialized form of one bcp-bench run.
+type report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	Benchtime  string      `json:"benchtime"`
+	Benchmarks []benchLine `json:"benchmarks"`
+}
+
+type benchLine struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	testing.Init() // register test.* flags so benchtime is settable
+	out := flag.String("o", "BENCH_PR2.json", "output JSON path")
+	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measurement time")
+	flag.Parse()
+
+	// testing.Benchmark reads the package-level benchtime flag.
+	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
+		fmt.Fprintf(os.Stderr, "bcp-bench: set benchtime: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: benchtime.String(),
+	}
+	for _, b := range []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"ScheduleRun", bench.ScheduleRun},
+		{"ScheduleCancel", bench.ScheduleCancel},
+		{"TimerReset", bench.TimerReset},
+		{"SimulationThroughput", bench.SimulationThroughput},
+	} {
+		fmt.Fprintf(os.Stderr, "running %s...\n", b.name)
+		r := testing.Benchmark(b.fn)
+		line := benchLine{
+			Name:        b.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			line.Extra = r.Extra
+		}
+		rep.Benchmarks = append(rep.Benchmarks, line)
+		fmt.Fprintf(os.Stderr, "  %s\t%s\n", b.name, r.String())
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bcp-bench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bcp-bench: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}

@@ -43,6 +43,26 @@
 // several figures reuses every overlapping grid cell. The cmd/bcp-sweep
 // executable exposes the engine directly for ad-hoc grids.
 //
+// # Event core
+//
+// Every simulated run executes on the internal/sim discrete-event
+// engine, whose hot path is allocation-free: events live in a
+// value-typed 4-ary heap ordered by (time, sequence), callbacks in a
+// free-list-backed handle table, and cancellation is lazy — Cancel
+// retires the handle in O(1) and the heap entry is discarded when it
+// surfaces, with an O(n) compaction once cancelled debris dominates.
+// Determinism is unaffected: executed events follow the exact
+// (time, sequence) order, so a fixed seed produces a byte-identical
+// trajectory; only cancelled (never-executed) bookkeeping changed.
+//
+// The radio layer exploits static topology the same way: each channel
+// precomputes at construction a dense per-node table of pre-sorted
+// in-range receivers, so a transmission walks one list instead of
+// scanning, filtering and sorting the node set. Layouts are immutable;
+// if node mobility is ever added, the neighbor index must be rebuilt on
+// any position change. cmd/bcp-bench measures the core benchmarks and
+// writes the JSON baselines committed as BENCH_PR*.json.
+//
 // The executables under cmd/ and the runnable scenarios under examples/
 // are thin clients of this API.
 package bulktx

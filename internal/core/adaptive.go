@@ -1,11 +1,11 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"bulktx/internal/analysis"
 	"bulktx/internal/radio"
-	"bulktx/internal/sim"
 	"bulktx/internal/units"
 )
 
@@ -93,7 +93,7 @@ func (a *Agent) startDeadlineMonitor() {
 	if a.cfg.DelayBound <= 0 {
 		return
 	}
-	a.deadlineTimer = sim.NewTimer(a.sched, a.checkDeadlines)
+	a.deadlineTimer.Init(a.sched, a.checkDeadlines)
 	a.deadlineTimer.Reset(a.deadlinePeriod())
 }
 
@@ -117,9 +117,19 @@ func (a *Agent) checkDeadlines() {
 	const controlSlack = 8
 	headroom := a.sensor.Params().QueueCap - a.sensor.QueueLen() - controlSlack
 	backlog := false
-	for nh, queue := range a.buffers {
-		kept := queue[:0]
-		for _, p := range queue {
+	// Walk next hops in ascending order: map iteration order would vary
+	// run to run, and both the reroute order into the shared sensor MAC
+	// and the choice of which overdue packets wait when headroom runs
+	// out must be deterministic for fixed-seed reproducibility.
+	hops := make([]int, 0, len(a.buffers))
+	for nh := range a.buffers {
+		hops = append(hops, nh)
+	}
+	sort.Ints(hops)
+	for _, nh := range hops {
+		q := a.buffers[nh]
+		kept := q.pkts[:0]
+		for _, p := range q.pkts {
 			if now-p.Created >= budget {
 				if headroom <= 0 {
 					backlog = true
@@ -127,6 +137,7 @@ func (a *Agent) checkDeadlines() {
 					continue
 				}
 				a.bufferedBytes -= p.Size
+				q.bytes -= p.Size
 				a.stats.SensorSends++
 				a.sendDataViaSensor(p)
 				headroom--
@@ -134,7 +145,7 @@ func (a *Agent) checkDeadlines() {
 			}
 			kept = append(kept, p)
 		}
-		a.buffers[nh] = kept
+		q.pkts = kept
 	}
 	// Overdue packets stuck behind a full link-layer queue: recheck as
 	// soon as the queue can have drained rather than a full period later.

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"bulktx/internal/mac"
 	"bulktx/internal/radio"
@@ -38,7 +37,7 @@ type recvSession struct {
 	granted units.ByteSize
 	total   int
 	got     map[int]bool
-	idle    *sim.Timer
+	idle    sim.Timer
 }
 
 // Agent is one node's BCP instance, owning its two MAC layers.
@@ -53,7 +52,10 @@ type Agent struct {
 	wifiRoute NextHopper
 	addr      *routing.AddrMap
 
-	buffers       map[int][]Packet
+	// buffers holds one queue per high-power next hop. Byte totals are
+	// maintained incrementally, so the threshold check on every buffered
+	// packet is O(hops) instead of a rescan of the queues.
+	buffers       map[int]*hopQueue
 	bufferedBytes units.ByteSize
 
 	// Sender state: one handshake/burst in flight at a time.
@@ -63,8 +65,8 @@ type Agent struct {
 	curBurstReq   units.ByteSize
 	wakeupTries   int
 	pendingFrames int
-	ackTimer      *sim.Timer
-	retryTimer    *sim.Timer
+	ackTimer      sim.Timer
+	retryTimer    sim.Timer
 
 	// Receiver state, keyed by burst origin. lastDone remembers the most
 	// recently completed handshake per origin so trailing duplicate
@@ -76,11 +78,11 @@ type Agent struct {
 	// linger timer for delayed shutdown.
 	wifiUsers   int
 	wifiWaiters []func()
-	lingerTimer *sim.Timer
+	lingerTimer sim.Timer
 
 	handshakeSeq  uint64
 	flushing      bool
-	deadlineTimer *sim.Timer
+	deadlineTimer sim.Timer
 	onDeliver     func(Packet)
 	stats         Stats
 }
@@ -114,14 +116,14 @@ func NewAgent(
 		mesh:      mesh,
 		wifiRoute: wifiRoute,
 		addr:      addr,
-		buffers:   make(map[int][]Packet),
+		buffers:   make(map[int]*hopQueue),
 		recv:      make(map[int]*recvSession),
 		lastDone:  make(map[int]uint64),
 		onDeliver: onDeliver,
 	}
-	a.ackTimer = sim.NewTimer(sched, a.onAckTimeout)
-	a.retryTimer = sim.NewTimer(sched, a.maybeStart)
-	a.lingerTimer = sim.NewTimer(sched, a.tryPowerOff)
+	a.ackTimer.Init(sched, a.onAckTimeout)
+	a.retryTimer.Init(sched, a.maybeStart)
+	a.lingerTimer.Init(sched, a.tryPowerOff)
 	sensorMAC.SetOnReceive(a.handleSensorFrame)
 	wifiMAC.SetOnReceive(a.handleWifiFrame)
 	wifiMAC.SetOnSent(a.handleWifiSent)
@@ -160,19 +162,31 @@ func (a *Agent) Buffer(p Packet) {
 		a.stats.PacketsDropped++
 		return
 	}
-	a.buffers[nh] = append(a.buffers[nh], p)
+	q := a.buffers[nh]
+	if q == nil {
+		q = &hopQueue{}
+		a.buffers[nh] = q
+	}
+	q.pkts = append(q.pkts, p)
+	q.bytes += p.Size
 	a.bufferedBytes += p.Size
 	a.stats.PacketsBuffered++
 	a.maybeStart()
 }
 
-// bufferedFor sums the bytes waiting for one next hop.
+// hopQueue is the buffered backlog toward one high-power next hop.
+type hopQueue struct {
+	pkts  []Packet
+	bytes units.ByteSize
+}
+
+// bufferedFor returns the bytes waiting for one next hop (maintained
+// incrementally by Buffer and the drain paths).
 func (a *Agent) bufferedFor(nh int) units.ByteSize {
-	var total units.ByteSize
-	for _, p := range a.buffers[nh] {
-		total += p.Size
+	if q := a.buffers[nh]; q != nil {
+		return q.bytes
 	}
-	return total
+	return 0
 }
 
 // Flush requests transmission of all buffered data regardless of the
@@ -199,18 +213,19 @@ func (a *Agent) maybeStart() {
 			threshold = 1
 		}
 	}
-	hops := make([]int, 0, len(a.buffers))
-	for nh := range a.buffers {
-		if a.bufferedFor(nh) >= threshold {
-			hops = append(hops, nh)
+	// Lowest qualifying next hop wins, for determinism (equivalent to
+	// collecting and sorting, without the allocation).
+	target := -1
+	for nh, q := range a.buffers {
+		if q.bytes >= threshold && (target < 0 || nh < target) {
+			target = nh
 		}
 	}
-	if len(hops) == 0 {
+	if target < 0 {
 		return
 	}
-	sort.Ints(hops)
 	a.sending = true
-	a.curTarget = hops[0]
+	a.curTarget = target
 	a.handshakeSeq++
 	a.curID = a.handshakeSeq
 	a.curBurstReq = a.bufferedFor(a.curTarget)
@@ -338,7 +353,7 @@ func (a *Agent) receiverAdmit(m wakeupMsg) {
 		granted: grant,
 		got:     make(map[int]bool),
 	}
-	session.idle = sim.NewTimer(a.sched, func() { a.receiverTimeout(m.Origin) })
+	session.idle.Init(a.sched, func() { a.receiverTimeout(m.Origin) })
 	a.recv[m.Origin] = session
 	a.acquireWifi(nil)
 	a.sendAckBack(m, grant)
@@ -405,7 +420,11 @@ func (a *Agent) startBurst(sendBytes units.ByteSize) {
 	if !a.sending {
 		return
 	}
-	queue := a.buffers[a.curTarget]
+	q := a.buffers[a.curTarget]
+	var queue []Packet
+	if q != nil {
+		queue = q.pkts
+	}
 	nPackets := int(sendBytes / a.cfg.SensorPayload)
 	if nPackets > len(queue) {
 		nPackets = len(queue)
@@ -415,9 +434,10 @@ func (a *Agent) startBurst(sendBytes units.ByteSize) {
 		return
 	}
 	burst := queue[:nPackets]
-	a.buffers[a.curTarget] = queue[nPackets:]
+	q.pkts = queue[nPackets:]
 	for _, p := range burst {
 		a.bufferedBytes -= p.Size
+		q.bytes -= p.Size
 	}
 
 	perFrame := int(a.cfg.WifiPayload / a.cfg.SensorPayload)
@@ -536,7 +556,7 @@ func (a *Agent) handleWifiFrame(f radio.Frame) {
 		// data still arrived: admit it under a fresh implicit session so
 		// the radio stays on until the burst completes.
 		session = &recvSession{id: b.ID, got: make(map[int]bool)}
-		session.idle = sim.NewTimer(a.sched, func() { a.receiverTimeout(b.Origin) })
+		session.idle.Init(a.sched, func() { a.receiverTimeout(b.Origin) })
 		a.recv[b.Origin] = session
 		a.acquireWifi(nil)
 	}

@@ -119,9 +119,12 @@ func TestZeroGrantWhenFullNoAck(t *testing.T) {
 	})
 	receiver := h.agents[1]
 	// Fill the receiver's buffer by hand (packets not destined to it).
+	q := &hopQueue{}
+	receiver.buffers[0] = q
 	for i := 0; i < 10; i++ {
-		receiver.buffers[0] = append(receiver.buffers[0],
+		q.pkts = append(q.pkts,
 			Packet{Src: 1, Dst: 0, Seq: uint64(i), Size: params.SensorPayload})
+		q.bytes += params.SensorPayload
 		receiver.bufferedBytes += params.SensorPayload
 	}
 	receiver.receiverAdmit(wakeupMsg{ID: 3, Origin: 0, Target: 1, Burst: 320, Path: []int{0}})

@@ -145,15 +145,27 @@ type MAC struct {
 	sched  *sim.Scheduler
 	xcvr   *radio.Transceiver
 
+	// queue[head:] holds the frames waiting to transmit. Dequeuing
+	// advances head instead of reslicing, so the backing array is reused
+	// once drained rather than crawling forward and reallocating.
 	queue       []radio.Frame
+	head        int
 	inflight    bool
 	retries     int
 	cw          int
 	seq         uint64
 	pendingAcks int
 
-	ackTimer     *sim.Timer
-	pendingSense *sim.Timer
+	ackTimer     sim.Timer
+	pendingSense sim.Timer
+
+	// ackQueue[ackHead:] holds committed link-layer acks awaiting their
+	// SIFS gap, in fire order; fireAckFn is bound once so sendAck never
+	// allocates. Entries fire strictly FIFO because every ack is
+	// scheduled SIFS from its own (monotone) reception time.
+	ackQueue  []radio.Frame
+	ackHead   int
+	fireAckFn func()
 
 	lastSeq map[radio.NodeID]uint64
 	stats   Stats
@@ -182,8 +194,9 @@ func New(params Params, sched *sim.Scheduler, xcvr *radio.Transceiver) (*MAC, er
 		lastSeq: make(map[radio.NodeID]uint64),
 		stats:   Stats{Drops: make(map[DropReason]uint64)},
 	}
-	m.ackTimer = sim.NewTimer(sched, m.onAckTimeout)
-	m.pendingSense = sim.NewTimer(sched, m.senseAndTransmit)
+	m.ackTimer.Init(sched, m.onAckTimeout)
+	m.pendingSense.Init(sched, m.senseAndTransmit)
+	m.fireAckFn = m.fireAck
 	xcvr.SetOnReceive(m.handleReceive)
 	xcvr.SetOnTxDone(m.handleTxDone)
 	return m, nil
@@ -206,7 +219,36 @@ func (m *MAC) Stats() Stats {
 }
 
 // QueueLen returns the number of frames waiting (excluding in-flight).
-func (m *MAC) QueueLen() int { return len(m.queue) }
+func (m *MAC) QueueLen() int { return m.queueLen() }
+
+func (m *MAC) queueLen() int { return len(m.queue) - m.head }
+
+// dequeue removes and returns the head frame. Once the queue drains the
+// backing array is reset and reused by later Sends; under saturation
+// (never empty) the live region is periodically copied to the front so
+// the dead prefix cannot grow without bound.
+func (m *MAC) dequeue() radio.Frame {
+	f := m.queue[m.head]
+	m.queue[m.head] = radio.Frame{} // release the payload reference
+	m.head++
+	m.queue, m.head = compactQueue(m.queue, m.head)
+	return f
+}
+
+// compactQueue reclaims a frame queue's consumed prefix: fully drained
+// queues reset to the array start, and a dead prefix larger than the
+// live remainder (past a small threshold) is compacted away.
+func compactQueue(q []radio.Frame, head int) ([]radio.Frame, int) {
+	if head == len(q) {
+		return q[:0], 0
+	}
+	if head > 32 && head > len(q)-head {
+		n := copy(q, q[head:])
+		clear(q[n:])
+		return q[:n], 0
+	}
+	return q, head
+}
 
 // SetOnReceive registers the upper-layer delivery callback.
 func (m *MAC) SetOnReceive(fn func(radio.Frame)) { m.onReceive = fn }
@@ -221,12 +263,12 @@ func (m *MAC) SetOnDrop(fn func(radio.Frame, DropReason)) { m.onDrop = fn }
 // number. Unicast data and control frames are acknowledged and retried;
 // broadcast frames are fire-and-forget.
 func (m *MAC) Send(f radio.Frame) error {
-	if len(m.queue) >= m.params.QueueCap {
+	if m.queueLen() >= m.params.QueueCap {
 		m.stats.Drops[DropQueueFull]++
 		if m.onDrop != nil {
 			m.onDrop(f, DropQueueFull)
 		}
-		return fmt.Errorf("%w: %q at %d frames", ErrQueueFull, m.params.Name, len(m.queue))
+		return fmt.Errorf("%w: %q at %d frames", ErrQueueFull, m.params.Name, m.queueLen())
 	}
 	m.seq++
 	f.Seq = m.seq
@@ -238,13 +280,15 @@ func (m *MAC) Send(f radio.Frame) error {
 // Flush drops all queued frames (radio going off). In-flight frames are
 // allowed to finish.
 func (m *MAC) Flush() {
-	for _, f := range m.queue {
+	for _, f := range m.queue[m.head:] {
 		m.stats.Drops[DropRadioOff]++
 		if m.onDrop != nil {
 			m.onDrop(f, DropRadioOff)
 		}
 	}
+	clear(m.queue[m.head:]) // release the payload references
 	m.queue = m.queue[:0]
+	m.head = 0
 	m.pendingSense.Stop()
 	m.ackTimer.Stop()
 	m.inflight = false
@@ -255,13 +299,13 @@ func (m *MAC) Flush() {
 // must not turn the radio off while an ack is pending, or the peer
 // retries into the void.
 func (m *MAC) Idle() bool {
-	return !m.inflight && len(m.queue) == 0 && !m.pendingSense.Armed() &&
+	return !m.inflight && m.queueLen() == 0 && !m.pendingSense.Armed() &&
 		m.pendingAcks == 0
 }
 
 // kick starts the channel-access procedure if work is pending.
 func (m *MAC) kick() {
-	if m.inflight || len(m.queue) == 0 || m.pendingSense.Armed() {
+	if m.inflight || m.queueLen() == 0 || m.pendingSense.Armed() {
 		return
 	}
 	m.inflight = true
@@ -284,7 +328,7 @@ func (m *MAC) scheduleAttempt(backoff bool) {
 // senseAndTransmit performs the carrier-sense check and either transmits
 // or backs off.
 func (m *MAC) senseAndTransmit() {
-	if len(m.queue) == 0 {
+	if m.queueLen() == 0 {
 		m.inflight = false
 		return
 	}
@@ -304,7 +348,7 @@ func (m *MAC) senseAndTransmit() {
 		m.pendingSense.Reset(m.params.DIFS - idle)
 		return
 	}
-	f := m.queue[0]
+	f := m.queue[m.head]
 	if err := m.xcvr.Transmit(f); err != nil {
 		// The transceiver raced into a state we cannot use (e.g. an ack
 		// transmission in progress); back off and retry.
@@ -319,7 +363,7 @@ func (m *MAC) handleTxDone(f radio.Frame) {
 		// Ack transmissions are not queued; resume any pending attempt.
 		return
 	}
-	if len(m.queue) == 0 || m.queue[0].Seq != f.Seq {
+	if m.queueLen() == 0 || m.queue[m.head].Seq != f.Seq {
 		return
 	}
 	if !f.IsUnicast() {
@@ -331,7 +375,7 @@ func (m *MAC) handleTxDone(f radio.Frame) {
 
 // onAckTimeout retries the head frame or drops it past the retry limit.
 func (m *MAC) onAckTimeout() {
-	if len(m.queue) == 0 {
+	if m.queueLen() == 0 {
 		m.inflight = false
 		return
 	}
@@ -351,8 +395,7 @@ func (m *MAC) growCW() {
 
 // completeHead reports success for the head frame and moves on.
 func (m *MAC) completeHead() {
-	f := m.queue[0]
-	m.queue = m.queue[1:]
+	f := m.dequeue()
 	m.stats.Sent++
 	m.inflight = false
 	if m.onSent != nil {
@@ -363,8 +406,7 @@ func (m *MAC) completeHead() {
 
 // dropHead abandons the head frame and moves on.
 func (m *MAC) dropHead(reason DropReason) {
-	f := m.queue[0]
-	m.queue = m.queue[1:]
+	f := m.dequeue()
 	m.stats.Drops[reason]++
 	m.inflight = false
 	if m.onDrop != nil {
@@ -385,10 +427,10 @@ func (m *MAC) handleReceive(f radio.Frame) {
 
 // handleAck matches an ack against the in-flight frame.
 func (m *MAC) handleAck(f radio.Frame) {
-	if !m.inflight || len(m.queue) == 0 {
+	if !m.inflight || m.queueLen() == 0 {
 		return
 	}
-	head := m.queue[0]
+	head := m.queue[m.head]
 	if f.Src != head.Dst || f.Seq != head.Seq {
 		return
 	}
@@ -427,19 +469,20 @@ func (m *MAC) sendAck(data radio.Frame) {
 		Seq:  data.Seq,
 	}
 	m.pendingAcks++
-	m.sched.After(m.params.SIFS, func() {
-		m.pendingAcks--
-		if !m.xcvr.On() {
-			return
-		}
-		// If we are mid-transmission the ack is lost; the sender retries.
-		_ = m.xcvr.Transmit(ack)
-	})
+	m.ackQueue = append(m.ackQueue, ack)
+	m.sched.After(m.params.SIFS, m.fireAckFn)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// fireAck transmits the oldest committed ack once its SIFS gap elapses.
+func (m *MAC) fireAck() {
+	ack := m.ackQueue[m.ackHead]
+	m.ackQueue[m.ackHead] = radio.Frame{}
+	m.ackHead++
+	m.ackQueue, m.ackHead = compactQueue(m.ackQueue, m.ackHead)
+	m.pendingAcks--
+	if !m.xcvr.On() {
+		return
 	}
-	return b
+	// If we are mid-transmission the ack is lost; the sender retries.
+	_ = m.xcvr.Transmit(ack)
 }

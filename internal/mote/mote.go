@@ -230,10 +230,10 @@ func runDual(cfg Config) (Result, error) {
 func meterTotal(chs ...*radio.Channel) units.Energy {
 	var total units.Energy
 	for _, ch := range chs {
-		for id := 0; ; id++ {
+		for id := 0; id < ch.Len(); id++ {
 			x, ok := ch.Lookup(radio.NodeID(id))
 			if !ok {
-				break
+				continue
 			}
 			total += x.Meter().Total()
 		}

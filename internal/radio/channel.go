@@ -2,6 +2,7 @@ package radio
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"bulktx/internal/energy"
@@ -66,16 +67,28 @@ type Stats struct {
 // Channel is a broadcast medium shared by all transceivers of one radio
 // technology. Propagation is a disk of the configured range; propagation
 // delay is negligible at the paper's 200 m scale and modelled as zero.
+//
+// Topology is static: node positions come from the layout fixed at
+// NewChannel time, so the in-range neighbor set of every node is
+// precomputed once and each transmission walks a pre-sorted list instead
+// of scanning, filtering and sorting the full node set. If layouts ever
+// become mutable, the neighbor index must be rebuilt on any position
+// change — there is deliberately no invalidation path today.
 type Channel struct {
 	sched  *sim.Scheduler
 	cfg    Config
 	layout *topo.Layout
-	nodes  map[NodeID]*Transceiver
-	stats  Stats
-	rng    interface{ Float64() float64 }
+	// nodes is a dense table indexed by NodeID; nil means not attached.
+	nodes []*Transceiver
+	// neighbors[i] lists the node IDs within range of node i (excluding
+	// i itself), sorted ascending for deterministic delivery order.
+	neighbors [][]NodeID
+	stats     Stats
+	rng       *rand.Rand
 }
 
-// NewChannel builds a channel over the given layout.
+// NewChannel builds a channel over the given layout and precomputes its
+// static neighbor index.
 func NewChannel(sched *sim.Scheduler, cfg Config, layout *topo.Layout) (*Channel, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -87,12 +100,31 @@ func NewChannel(sched *sim.Scheduler, cfg Config, layout *topo.Layout) (*Channel
 		cfg.Range = cfg.Profile.Range
 	}
 	return &Channel{
-		sched:  sched,
-		cfg:    cfg,
-		layout: layout,
-		nodes:  make(map[NodeID]*Transceiver, layout.Len()),
-		rng:    sched.Rand(),
+		sched:     sched,
+		cfg:       cfg,
+		layout:    layout,
+		nodes:     make([]*Transceiver, layout.Len()),
+		neighbors: buildNeighborIndex(layout, cfg.Range),
+		rng:       sched.Rand(),
 	}, nil
+}
+
+// buildNeighborIndex materializes the layout's sorted adjacency lists
+// (topo.Layout.AdjacencyLists) as NodeID slices for the transmit path.
+func buildNeighborIndex(layout *topo.Layout, r units.Meters) [][]NodeID {
+	adj := layout.AdjacencyLists(r)
+	nb := make([][]NodeID, len(adj))
+	for i, ids := range adj {
+		if len(ids) == 0 {
+			continue
+		}
+		out := make([]NodeID, len(ids))
+		for k, id := range ids {
+			out[k] = NodeID(id)
+		}
+		nb[i] = out
+	}
+	return nb
 }
 
 // Config returns the channel configuration (with resolved range).
@@ -109,10 +141,18 @@ func (c *Channel) Airtime(size units.ByteSize) time.Duration {
 	return c.cfg.Profile.Rate.TimeFor(size)
 }
 
-// Lookup returns the transceiver attached under id, if any.
+// Len returns the number of layout slots on the channel (attached or
+// not); valid NodeIDs are [0, Len).
+func (c *Channel) Len() int { return len(c.nodes) }
+
+// Lookup returns the transceiver attached under id, if any. IDs outside
+// the layout safely report false.
 func (c *Channel) Lookup(id NodeID) (*Transceiver, bool) {
-	t, ok := c.nodes[id]
-	return t, ok
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return nil, false
+	}
+	t := c.nodes[id]
+	return t, t != nil
 }
 
 // InRange reports whether two attached nodes are within radio range.
@@ -120,37 +160,26 @@ func (c *Channel) InRange(a, b NodeID) bool {
 	return topo.InRange(c.layout.Position(int(a)), c.layout.Position(int(b)), c.cfg.Range)
 }
 
-// broadcastTo enumerates the attached transceivers in range of src.
-func (c *Channel) broadcastTo(src NodeID) []*Transceiver {
-	var out []*Transceiver
-	for id, t := range c.nodes {
-		if id == src {
-			continue
-		}
-		if c.InRange(src, id) {
-			out = append(out, t)
-		}
+// Neighbors returns node id's precomputed in-range neighbor IDs, sorted
+// ascending (attached or not). The slice is shared; callers must not
+// mutate it.
+func (c *Channel) Neighbors(id NodeID) []NodeID {
+	if int(id) < 0 || int(id) >= len(c.neighbors) {
+		return nil
 	}
-	return out
+	return c.neighbors[id]
 }
 
 // start transmits f from the transceiver, delivering arrivals to every
 // in-range node. Called by Transceiver.Transmit after state checks.
+// The neighbor index makes this a single allocation-free walk in
+// ascending-ID (deterministic) order.
 func (c *Channel) start(f Frame) {
 	c.stats.Transmissions++
 	airtime := c.Airtime(f.Size)
-	// Deterministic iteration: collect then sort by id.
-	receivers := c.broadcastTo(f.Src)
-	sortTransceivers(receivers)
-	for _, rx := range receivers {
-		rx.arrive(f, airtime)
-	}
-}
-
-func sortTransceivers(ts []*Transceiver) {
-	for i := 1; i < len(ts); i++ {
-		for j := i; j > 0 && ts[j].id < ts[j-1].id; j-- {
-			ts[j], ts[j-1] = ts[j-1], ts[j]
+	for _, id := range c.neighbors[f.Src] {
+		if rx := c.nodes[id]; rx != nil {
+			rx.arrive(f, airtime)
 		}
 	}
 }

@@ -1,0 +1,166 @@
+package radio
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bulktx/internal/energy"
+	"bulktx/internal/sim"
+	"bulktx/internal/topo"
+	"bulktx/internal/units"
+)
+
+// TestNeighborIndexMatchesBruteForce checks the precomputed per-node
+// neighbor lists against brute-force InRange enumeration on random
+// layouts of varying density.
+func TestNeighborIndexMatchesBruteForce(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		n := 2 + rng.Intn(60)
+		field := units.Meters(50 + rng.Float64()*250)
+		layout, err := topo.Random(n, field, rng)
+		if err != nil {
+			t.Fatalf("Random layout: %v", err)
+		}
+		cfg := Config{
+			Name:    "test",
+			Profile: energy.Micaz(),
+			Range:   units.Meters(10 + rng.Float64()*100),
+		}
+		ch, err := NewChannel(sim.NewScheduler(1), cfg, layout)
+		if err != nil {
+			t.Fatalf("NewChannel: %v", err)
+		}
+		for i := 0; i < n; i++ {
+			want := layout.Neighbors(i, cfg.Range)
+			sort.Ints(want)
+			got := ch.Neighbors(NodeID(i))
+			if len(got) != len(want) {
+				t.Fatalf("trial %d node %d: index has %d neighbors %v, brute force %d %v",
+					trial, i, len(got), got, len(want), want)
+			}
+			for k := range want {
+				if int(got[k]) != want[k] {
+					t.Fatalf("trial %d node %d: index %v, brute force %v", trial, i, got, want)
+				}
+			}
+			// Pre-sorted invariant: ascending IDs, self excluded.
+			for k := 1; k < len(got); k++ {
+				if got[k-1] >= got[k] {
+					t.Fatalf("trial %d node %d: neighbor list not ascending: %v", trial, i, got)
+				}
+			}
+			for _, id := range got {
+				if int(id) == i {
+					t.Fatalf("trial %d node %d: neighbor list contains self: %v", trial, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestBroadcastReachesExactlyNeighborSet transmits from every node of a
+// random layout and checks that exactly the attached in-range nodes hear
+// the frame.
+func TestBroadcastReachesExactlyNeighborSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	layout, err := topo.Random(25, 120, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := sim.NewScheduler(1)
+	cfg := Config{Name: "test", Profile: energy.Micaz(), Range: 60}
+	ch, err := NewChannel(sched, cfg, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leave every third node unattached: the dense table must skip the
+	// holes without delivering to (or crashing on) them.
+	xcvrs := make([]*Transceiver, layout.Len())
+	for i := range xcvrs {
+		if i%3 == 2 {
+			continue
+		}
+		x, err := ch.Attach(NodeID(i), OverhearFull, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xcvrs[i] = x
+	}
+	heard := make(map[NodeID][]NodeID)
+	for i, x := range xcvrs {
+		if x == nil {
+			continue
+		}
+		i := NodeID(i)
+		x.SetOnReceive(func(f Frame) { heard[f.Src] = append(heard[f.Src], i) })
+	}
+	for i, x := range xcvrs {
+		if x == nil {
+			continue
+		}
+		if err := x.Transmit(Frame{Kind: KindData, Dst: Broadcast, Size: 16}); err != nil {
+			t.Fatalf("Transmit from %d: %v", i, err)
+		}
+		sched.Run() // serialize transmissions so nothing collides
+	}
+	for i, x := range xcvrs {
+		if x == nil {
+			continue
+		}
+		var want []NodeID
+		for _, nb := range layout.Neighbors(i, cfg.Range) {
+			if xcvrs[nb] != nil {
+				want = append(want, NodeID(nb))
+			}
+		}
+		got := heard[NodeID(i)]
+		if len(got) != len(want) {
+			t.Fatalf("tx from %d heard by %v, want %v", i, got, want)
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("tx from %d heard by %v, want %v (order must be ascending)", i, got, want)
+			}
+		}
+	}
+}
+
+// TestLookupBounds exercises the dense-table bounds checks.
+func TestLookupBounds(t *testing.T) {
+	layout, err := topo.Grid(4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := NewChannel(sim.NewScheduler(1), Config{Name: "t", Profile: energy.Micaz()}, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Attach(1, OverhearFull, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := ch.Len(); got != 4 {
+		t.Errorf("Len() = %d, want 4", got)
+	}
+	if _, ok := ch.Lookup(1); !ok {
+		t.Error("Lookup(1) missed an attached node")
+	}
+	for _, id := range []NodeID{2, NodeID(-1), 4, 1000} {
+		if _, ok := ch.Lookup(id); ok {
+			t.Errorf("Lookup(%d) = true, want false", id)
+		}
+	}
+	if got := ch.Neighbors(NodeID(-5)); got != nil {
+		t.Errorf("Neighbors(-5) = %v, want nil", got)
+	}
+	if got := ch.Neighbors(99); got != nil {
+		t.Errorf("Neighbors(99) = %v, want nil", got)
+	}
+	if _, err := ch.Attach(4, OverhearFull, true); err == nil {
+		t.Error("Attach(4) beyond layout succeeded")
+	}
+	if _, err := ch.Attach(1, OverhearFull, true); err == nil {
+		t.Error("duplicate Attach succeeded")
+	}
+}

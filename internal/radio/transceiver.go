@@ -36,8 +36,12 @@ var (
 	ErrAlreadyAttached = errors.New("radio: node already attached")
 )
 
-// arrival tracks one incoming frame at a receiver.
+// arrival tracks one incoming frame at a receiver. Arrivals are pooled
+// per transceiver: each carries a finish closure bound once at first
+// allocation, so steady-state reception neither allocates the struct
+// nor a new completion callback.
 type arrival struct {
+	fin      func() // bound once: finishArrival(this)
 	frame    Frame
 	forMe    bool
 	chargeRx bool
@@ -58,9 +62,17 @@ type Transceiver struct {
 	waking       bool
 	transmitting bool
 	arrivals     []*arrival
+	arrivalPool  []*arrival
 	lastBusyEnd  sim.Time
 
-	wakeTimer *sim.Timer
+	// txFrame is the frame currently on the air; finishTxFn completes it.
+	// A transceiver is half-duplex with at most one transmission in
+	// flight (Transmit returns ErrRadioBusy otherwise), so one slot
+	// suffices and the completion closure is bound once at Attach.
+	txFrame    Frame
+	finishTxFn func()
+
+	wakeTimer sim.Timer
 	observer  func(Event)
 
 	onReceive func(Frame)
@@ -70,11 +82,13 @@ type Transceiver struct {
 
 // Attach creates a transceiver for node id on the channel. Sensor radios
 // are attached powered on (startOn=true); high-power radios start off.
+// IDs outside the layout are rejected, keeping every later dense-table
+// access bounds-safe.
 func (c *Channel) Attach(id NodeID, overhear OverhearPolicy, startOn bool) (*Transceiver, error) {
-	if int(id) < 0 || int(id) >= c.layout.Len() {
-		return nil, fmt.Errorf("radio: node %d outside layout of %d nodes", id, c.layout.Len())
+	if int(id) < 0 || int(id) >= len(c.nodes) {
+		return nil, fmt.Errorf("radio: node %d outside layout of %d nodes", id, len(c.nodes))
 	}
-	if _, dup := c.nodes[id]; dup {
+	if c.nodes[id] != nil {
 		return nil, fmt.Errorf("%w: node %d on channel %q", ErrAlreadyAttached, id, c.cfg.Name)
 	}
 	t := &Transceiver{
@@ -83,7 +97,8 @@ func (c *Channel) Attach(id NodeID, overhear OverhearPolicy, startOn bool) (*Tra
 		meter:    energy.NewMeter(c.cfg.Profile, c.sched.Now),
 		overhear: overhear,
 	}
-	t.wakeTimer = sim.NewTimer(c.sched, t.completeWake)
+	t.wakeTimer.Init(c.sched, t.completeWake)
+	t.finishTxFn = t.finishTx
 	if startOn {
 		t.on = true
 		t.meter.Transition(energy.Idle)
@@ -203,14 +218,17 @@ func (t *Transceiver) Transmit(f Frame) error {
 		a.corrupt = true
 	}
 	t.transmitting = true
+	t.txFrame = f
 	t.updateMeterState()
 	t.observe(EventTxStart, f.Size)
 	t.ch.start(f)
-	t.ch.sched.After(t.ch.Airtime(f.Size), func() { t.finishTx(f) })
+	t.ch.sched.After(t.ch.Airtime(f.Size), t.finishTxFn)
 	return nil
 }
 
-func (t *Transceiver) finishTx(f Frame) {
+func (t *Transceiver) finishTx() {
+	f := t.txFrame
+	t.txFrame = Frame{}
 	t.transmitting = false
 	t.noteIdle()
 	t.updateMeterState()
@@ -226,10 +244,9 @@ func (t *Transceiver) arrive(f Frame, airtime sim.Time) {
 	if !t.on {
 		return // off or waking radios do not hear anything
 	}
-	a := &arrival{
-		frame: f,
-		forMe: f.Dst == t.id || f.Dst == Broadcast,
-	}
+	a := t.newArrival()
+	a.frame = f
+	a.forMe = f.Dst == t.id || f.Dst == Broadcast
 	a.chargeRx = a.forMe || t.overhear == OverhearFull
 	if t.transmitting {
 		a.corrupt = true // half-duplex: own transmission drowns the arrival
@@ -245,11 +262,33 @@ func (t *Transceiver) arrive(f Frame, airtime sim.Time) {
 	if a.chargeRx {
 		t.observe(EventRxStart, f.Size)
 	}
-	t.ch.sched.After(airtime, func() { t.finishArrival(a) })
+	t.ch.sched.After(airtime, a.fin)
+}
+
+// newArrival reuses a pooled arrival or mints one with its finish
+// closure bound. Arrivals return to the pool in finishArrival, which
+// runs exactly once per arrival (aborted ones included).
+func (t *Transceiver) newArrival() *arrival {
+	if n := len(t.arrivalPool); n > 0 {
+		a := t.arrivalPool[n-1]
+		t.arrivalPool = t.arrivalPool[:n-1]
+		return a
+	}
+	a := &arrival{}
+	a.fin = func() { t.finishArrival(a) }
+	return a
+}
+
+// freeArrival clears and pools an arrival for reuse.
+func (t *Transceiver) freeArrival(a *arrival) {
+	a.frame = Frame{}
+	a.forMe, a.chargeRx, a.corrupt, a.aborted = false, false, false, false
+	t.arrivalPool = append(t.arrivalPool, a)
 }
 
 func (t *Transceiver) finishArrival(a *arrival) {
 	if a.aborted {
+		t.freeArrival(a)
 		return
 	}
 	for i, cur := range t.arrivals {
@@ -271,7 +310,12 @@ func (t *Transceiver) finishArrival(a *arrival) {
 		headerAirtime := t.ch.Airtime(t.ch.cfg.HeaderSize)
 		t.meter.ChargeEnergy(energy.Overhear, t.ch.cfg.Profile.Rx.Over(headerAirtime))
 	}
-	if a.corrupt {
+	// Copy the outcome out and recycle the arrival before dispatching:
+	// the receive callback may transitively start new receptions at this
+	// transceiver, and the freed arrival must be reusable by then.
+	frame, corrupt, forMe := a.frame, a.corrupt, a.forMe
+	t.freeArrival(a)
+	if corrupt {
 		t.ch.stats.Collisions++
 		return
 	}
@@ -279,13 +323,13 @@ func (t *Transceiver) finishArrival(a *arrival) {
 		t.ch.stats.NoiseLosses++
 		return
 	}
-	if !a.forMe {
+	if !forMe {
 		t.ch.stats.Overhears++
 		return
 	}
 	t.ch.stats.Deliveries++
 	if t.onReceive != nil {
-		t.onReceive(a.frame)
+		t.onReceive(frame)
 	}
 }
 

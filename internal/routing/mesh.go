@@ -32,11 +32,10 @@ func BuildMesh(layout *topo.Layout, r units.Meters) (*Mesh, error) {
 		next: make([][]int, n),
 		hops: make([][]int, n),
 	}
+	// One adjacency pass (O(N^2) geometry) shared by all N BFS runs.
+	adj := buildAdjacency(layout, r)
 	for dst := 0; dst < n; dst++ {
-		tree, err := BuildTree(layout, dst, r)
-		if err != nil {
-			return nil, err
-		}
+		tree := treeFromAdjacency(adj, dst)
 		m.next[dst] = tree.nextHop
 		m.hops[dst] = tree.hops
 	}

@@ -37,8 +37,43 @@ func BuildTree(layout *topo.Layout, sink int, r units.Meters) (*Tree, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("routing: non-positive range %v", r)
 	}
-	n := layout.Len()
-	hops := layout.HopCounts(sink, r)
+	return treeFromAdjacency(buildAdjacency(layout, r), sink), nil
+}
+
+// adjacency caches each node's in-range neighbors (ascending) with the
+// corresponding link distances, so repeated BFS passes (BuildMesh runs
+// one per node) cost O(N+E) each instead of O(N^2) range checks.
+type adjacency struct {
+	nb   [][]int
+	dist [][]units.Meters
+}
+
+func buildAdjacency(layout *topo.Layout, r units.Meters) *adjacency {
+	nb, dist := layout.Adjacency(r)
+	return &adjacency{nb: nb, dist: dist}
+}
+
+// treeFromAdjacency is BuildTree's core: a BFS for hop counts followed
+// by the closest-then-lowest-index parent pick, identical in order and
+// tie-breaks to scanning the layout directly.
+func treeFromAdjacency(adj *adjacency, sink int) *Tree {
+	n := len(adj.nb)
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	hops[sink] = 0
+	queue := make([]int, 1, n)
+	queue[0] = sink
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, nb := range adj.nb[cur] {
+			if hops[nb] == -1 {
+				hops[nb] = hops[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
 	next := make([]int, n)
 	for i := 0; i < n; i++ {
 		next[i] = NoRoute
@@ -47,18 +82,18 @@ func BuildTree(layout *topo.Layout, sink int, r units.Meters) (*Tree, error) {
 		}
 		best := NoRoute
 		var bestDist units.Meters
-		for _, nb := range layout.Neighbors(i, r) {
+		for k, nb := range adj.nb[i] {
 			if hops[nb] != hops[i]-1 {
 				continue
 			}
-			d := topo.Distance(layout.Position(i), layout.Position(nb))
+			d := adj.dist[i][k]
 			if best == NoRoute || d < bestDist || (d == bestDist && nb < best) {
 				best, bestDist = nb, d
 			}
 		}
 		next[i] = best
 	}
-	return &Tree{sink: sink, nextHop: next, hops: hops}, nil
+	return &Tree{sink: sink, nextHop: next, hops: hops}
 }
 
 // Sink returns the tree's sink node.

@@ -1,40 +1,19 @@
-package sim
+package sim_test
 
 import (
 	"testing"
-	"time"
+
+	"bulktx/internal/bench"
 )
 
-// BenchmarkScheduleRun measures raw event throughput: schedule + execute.
-func BenchmarkScheduleRun(b *testing.B) {
-	s := NewScheduler(1)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
-		if i%1024 == 1023 {
-			s.Run()
-		}
-	}
-	s.Run()
-}
+// The bodies live in internal/bench so cmd/bcp-bench's committed JSON
+// baselines measure exactly these workloads.
 
-// BenchmarkScheduleCancel measures the cancel path (heap removal).
-func BenchmarkScheduleCancel(b *testing.B) {
-	s := NewScheduler(1)
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		id := s.After(time.Duration(i%1000)*time.Microsecond, func() {})
-		s.Cancel(id)
-	}
-}
+// BenchmarkScheduleRun measures raw event throughput: schedule + execute.
+func BenchmarkScheduleRun(b *testing.B) { bench.ScheduleRun(b) }
+
+// BenchmarkScheduleCancel measures the cancel path (lazy handle retire).
+func BenchmarkScheduleCancel(b *testing.B) { bench.ScheduleCancel(b) }
 
 // BenchmarkTimerReset measures the protocol-timer rearm pattern.
-func BenchmarkTimerReset(b *testing.B) {
-	s := NewScheduler(1)
-	tm := NewTimer(s, func() {})
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		tm.Reset(time.Millisecond)
-	}
-	tm.Stop()
-}
+func BenchmarkTimerReset(b *testing.B) { bench.TimerReset(b) }

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refScheduler is a deliberately naive reference implementation: an
+// unordered pending list scanned linearly for the (at, seq) minimum,
+// with eager cancellation. It defines the semantics the optimized
+// value-heap scheduler must reproduce exactly.
+type refScheduler struct {
+	now       Time
+	seq       uint64
+	pending   []refEvent
+	processed uint64
+}
+
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+func (r *refScheduler) schedule(d time.Duration, fn func()) uint64 {
+	if d < 0 {
+		d = 0
+	}
+	r.seq++
+	r.pending = append(r.pending, refEvent{at: r.now + d, seq: r.seq, fn: fn})
+	return r.seq
+}
+
+func (r *refScheduler) cancel(seq uint64) bool {
+	for i, e := range r.pending {
+		if e.seq == seq {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refScheduler) step() bool {
+	if len(r.pending) == 0 {
+		return false
+	}
+	m := 0
+	for i, e := range r.pending {
+		if e.at < r.pending[m].at || (e.at == r.pending[m].at && e.seq < r.pending[m].seq) {
+			m = i
+		}
+	}
+	e := r.pending[m]
+	r.pending = append(r.pending[:m], r.pending[m+1:]...)
+	r.now = e.at
+	r.processed++
+	e.fn()
+	return true
+}
+
+// TestSchedulerEquivalence drives the real scheduler and the reference
+// with an identical random script of Schedule/Cancel/Step ops and
+// asserts identical execution order, clock, pending count, and processed
+// count throughout. Colliding timestamps are frequent by construction
+// (50 distinct delays across hundreds of events) so the (time, seq)
+// tie-break is exercised hard.
+func TestSchedulerEquivalence(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		s := NewScheduler(1)
+		ref := &refScheduler{}
+		var gotLog, wantLog []int
+		// Parallel handle tables: script slot -> per-scheduler ID.
+		var simIDs []EventID
+		var refIDs []uint64
+
+		ops := 300 + rng.Intn(300)
+		for op := 0; op < ops; op++ {
+			switch k := rng.Intn(10); {
+			case k < 6: // schedule
+				l := len(simIDs)
+				d := time.Duration(rng.Intn(50)) * time.Millisecond
+				simIDs = append(simIDs, s.After(d, func() { gotLog = append(gotLog, l) }))
+				refIDs = append(refIDs, ref.schedule(d, func() { wantLog = append(wantLog, l) }))
+			case k < 8: // cancel a random script slot (possibly already dead)
+				if len(simIDs) == 0 {
+					continue
+				}
+				i := rng.Intn(len(simIDs))
+				g := s.Cancel(simIDs[i])
+				w := ref.cancel(refIDs[i])
+				if g != w {
+					t.Fatalf("trial %d op %d: Cancel(slot %d) = %v, reference says %v", trial, op, i, g, w)
+				}
+			default: // step
+				g := s.Step()
+				w := ref.step()
+				if g != w {
+					t.Fatalf("trial %d op %d: Step() = %v, reference says %v", trial, op, g, w)
+				}
+			}
+			if s.Pending() != len(ref.pending) {
+				t.Fatalf("trial %d op %d: Pending() = %d, reference has %d",
+					trial, op, s.Pending(), len(ref.pending))
+			}
+		}
+		for s.Step() {
+		}
+		for ref.step() {
+		}
+
+		if len(gotLog) != len(wantLog) {
+			t.Fatalf("trial %d: executed %d events, reference %d", trial, len(gotLog), len(wantLog))
+		}
+		for i := range wantLog {
+			if gotLog[i] != wantLog[i] {
+				t.Fatalf("trial %d: execution order diverges at index %d: got %d, want %d",
+					trial, i, gotLog[i], wantLog[i])
+			}
+		}
+		if s.Now() != ref.now {
+			t.Fatalf("trial %d: clock %v, reference %v", trial, s.Now(), ref.now)
+		}
+		if s.Processed != ref.processed {
+			t.Fatalf("trial %d: Processed %d, reference %d", trial, s.Processed, ref.processed)
+		}
+	}
+}
+
+// TestSchedulerEquivalenceNested repeats the exercise with reentrancy:
+// every executed event whose label is divisible by three schedules a
+// child (with a label derived deterministically from its own), and
+// labels divisible by five cancel the child they scheduled one beat
+// earlier. Both sides derive children independently, so any divergence
+// in execution order cascades into a visible log mismatch.
+func TestSchedulerEquivalenceNested(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		s := NewScheduler(1)
+		ref := &refScheduler{}
+		var gotLog, wantLog []int
+
+		var simFn func(l, depth int) func()
+		simFn = func(l, depth int) func() {
+			return func() {
+				gotLog = append(gotLog, l)
+				if depth > 0 && l%3 == 0 {
+					d := time.Duration(l%11) * time.Millisecond
+					id := s.After(d, simFn(l*5+1, depth-1))
+					if l%5 == 0 {
+						s.Cancel(id)
+					}
+				}
+			}
+		}
+		var refFn func(l, depth int) func()
+		refFn = func(l, depth int) func() {
+			return func() {
+				wantLog = append(wantLog, l)
+				if depth > 0 && l%3 == 0 {
+					d := time.Duration(l%11) * time.Millisecond
+					id := ref.schedule(d, refFn(l*5+1, depth-1))
+					if l%5 == 0 {
+						ref.cancel(id)
+					}
+				}
+			}
+		}
+
+		for i := 0; i < 120; i++ {
+			l := rng.Intn(1000)
+			d := time.Duration(rng.Intn(30)) * time.Millisecond
+			s.After(d, simFn(l, 4))
+			ref.schedule(d, refFn(l, 4))
+		}
+		s.Run()
+		for ref.step() {
+		}
+
+		if len(gotLog) != len(wantLog) {
+			t.Fatalf("trial %d: executed %d events, reference %d", trial, len(gotLog), len(wantLog))
+		}
+		for i := range wantLog {
+			if gotLog[i] != wantLog[i] {
+				t.Fatalf("trial %d: execution order diverges at index %d: got %d, want %d",
+					trial, i, gotLog[i], wantLog[i])
+			}
+		}
+		if s.Now() != ref.now || s.Processed != ref.processed {
+			t.Fatalf("trial %d: clock/processed (%v, %d) vs reference (%v, %d)",
+				trial, s.Now(), s.Processed, ref.now, ref.processed)
+		}
+	}
+}

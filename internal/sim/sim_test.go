@@ -257,6 +257,109 @@ func TestCancelSubsetProperty(t *testing.T) {
 	}
 }
 
+// Lazy cancellation leaves retired entries buried in the heap until they
+// surface; none of that debris may leak into the pending count, the
+// processed count, or the clock.
+func TestPendingExcludesCancelled(t *testing.T) {
+	s := NewScheduler(1)
+	ids := make([]EventID, 6)
+	for i := 0; i < 6; i++ {
+		ids[i] = s.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	if got := s.Pending(); got != 6 {
+		t.Fatalf("Pending() = %d, want 6", got)
+	}
+	s.Cancel(ids[0]) // head of the heap
+	s.Cancel(ids[3]) // buried in the middle
+	if got := s.Pending(); got != 4 {
+		t.Errorf("Pending() after 2 cancels = %d, want 4", got)
+	}
+	// The cancelled head must not advance the clock or count as work.
+	if !s.Step() {
+		t.Fatal("Step() found no live event")
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now() = %v, want 2s (cancelled 1s head skipped)", s.Now())
+	}
+	if s.Processed != 1 {
+		t.Errorf("Processed = %d, want 1", s.Processed)
+	}
+	if got := s.Pending(); got != 3 {
+		t.Errorf("Pending() after Step = %d, want 3", got)
+	}
+	s.Run()
+	if s.Processed != 4 {
+		t.Errorf("Processed = %d after Run, want 4", s.Processed)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending() after Run = %d, want 0", got)
+	}
+}
+
+// An all-cancelled queue is empty for every observable purpose.
+func TestAllCancelledQueueIsEmpty(t *testing.T) {
+	s := NewScheduler(1)
+	ids := make([]EventID, 5)
+	for i := range ids {
+		ids[i] = s.After(time.Duration(i+1)*time.Second, func() {})
+	}
+	for _, id := range ids {
+		if !s.Cancel(id) {
+			t.Fatal("Cancel failed")
+		}
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending() = %d, want 0", got)
+	}
+	if s.Step() {
+		t.Error("Step() executed a cancelled event")
+	}
+	s.RunUntil(10 * time.Second)
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now() = %v, want 10s", s.Now())
+	}
+	if s.Processed != 0 {
+		t.Errorf("Processed = %d, want 0", s.Processed)
+	}
+}
+
+// RunUntil must not execute a live event that sits behind cancelled
+// debris with a timestamp past the deadline.
+func TestRunUntilSkipsCancelledPastDeadline(t *testing.T) {
+	s := NewScheduler(1)
+	id := s.After(1*time.Second, func() {})
+	ran := false
+	s.After(5*time.Second, func() { ran = true })
+	s.Cancel(id)
+	s.RunUntil(2 * time.Second)
+	if ran {
+		t.Error("RunUntil(2s) executed the 5s event")
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", s.Pending())
+	}
+}
+
+// Heavy cancel churn (the protocol-timer pattern) must keep the heap
+// compacted rather than accumulating one dead entry per reset.
+func TestCancelChurnCompacts(t *testing.T) {
+	s := NewScheduler(1)
+	tm := NewTimer(s, func() {})
+	for i := 0; i < 100000; i++ {
+		tm.Reset(time.Millisecond)
+	}
+	if got := len(s.queue); got > 4*compactMinDead {
+		t.Errorf("queue holds %d entries after churn, want <= %d", got, 4*compactMinDead)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending() = %d, want 1", got)
+	}
+	tm.Stop()
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending() after Stop = %d, want 0", got)
+	}
+}
+
 func TestTimerFires(t *testing.T) {
 	s := NewScheduler(1)
 	fired := 0

@@ -6,17 +6,34 @@ import "time"
 // state machines (BCP wake-up ack timeouts, receiver data timeouts, MAC
 // backoffs) use it to express "fire once at t unless reset or stopped".
 //
-// The zero Timer is not usable; create one with NewTimer.
+// A Timer is designed to be embedded by value in protocol structs: call
+// Init once, then Reset/Stop freely — both are allocation-free, because
+// the expiry callback is bound at Init time and cancellation is lazy
+// (an O(1) handle retire; see the package comment).
+//
+// The zero Timer is not usable; initialise one with Init (or NewTimer).
 type Timer struct {
-	sched *Scheduler
-	fn    func()
-	id    EventID
-	armed bool
+	sched  *Scheduler
+	fireFn func() // t.fire bound once so Reset never allocates
+	fn     func()
+	id     EventID
+	armed  bool
 }
 
-// NewTimer returns a timer that invokes fn on expiry.
+// Init binds the timer to a scheduler and expiry callback. It must be
+// called exactly once, before any Reset.
+func (t *Timer) Init(sched *Scheduler, fn func()) {
+	t.sched = sched
+	t.fn = fn
+	t.fireFn = t.fire
+}
+
+// NewTimer returns a heap-allocated timer that invokes fn on expiry.
+// Prefer embedding a Timer by value and calling Init.
 func NewTimer(sched *Scheduler, fn func()) *Timer {
-	return &Timer{sched: sched, fn: fn}
+	t := &Timer{}
+	t.Init(sched, fn)
+	return t
 }
 
 // Reset (re)arms the timer to fire d from now, cancelling any previous
@@ -24,7 +41,7 @@ func NewTimer(sched *Scheduler, fn func()) *Timer {
 func (t *Timer) Reset(d time.Duration) {
 	t.Stop()
 	t.armed = true
-	t.id = t.sched.After(d, t.fire)
+	t.id = t.sched.After(d, t.fireFn)
 }
 
 // Stop disarms the timer. It reports whether the timer was armed.

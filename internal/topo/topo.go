@@ -122,15 +122,64 @@ func (l *Layout) Positions() []Position {
 // excluding i itself.
 func (l *Layout) Neighbors(i int, r units.Meters) []int {
 	var out []int
+	l.EachNeighbor(i, r, func(j int) { out = append(out, j) })
+	return out
+}
+
+// Adjacency returns, for every node, the indices of its in-range
+// neighbors (excluding itself) in ascending order, together with the
+// corresponding link distances. Each unordered pair is measured once;
+// appending j>i during pass i and i<j during pass j leaves every
+// per-node list sorted without an explicit sort. It is the shared
+// O(N^2) geometry pass behind the radio channel's neighbor index and
+// the routing layer's repeated BFS traversals.
+func (l *Layout) Adjacency(r units.Meters) (nb [][]int, dist [][]units.Meters) {
+	return l.adjacency(r, true)
+}
+
+// AdjacencyLists is Adjacency without materializing the distance
+// slices, for callers that only need connectivity.
+func (l *Layout) AdjacencyLists(r units.Meters) [][]int {
+	nb, _ := l.adjacency(r, false)
+	return nb
+}
+
+func (l *Layout) adjacency(r units.Meters, withDist bool) (nb [][]int, dist [][]units.Meters) {
+	n := len(l.positions)
+	nb = make([][]int, n)
+	if withDist {
+		dist = make([][]units.Meters, n)
+	}
+	for i := 0; i < n; i++ {
+		pi := l.positions[i]
+		for j := i + 1; j < n; j++ {
+			d := Distance(pi, l.positions[j])
+			if d <= r {
+				nb[i] = append(nb[i], j)
+				nb[j] = append(nb[j], i)
+				if withDist {
+					dist[i] = append(dist[i], d)
+					dist[j] = append(dist[j], d)
+				}
+			}
+		}
+	}
+	return nb, dist
+}
+
+// EachNeighbor calls fn for every node within range r of node i
+// (excluding i itself), in ascending index order. It is the
+// allocation-free form of Neighbors for BFS-style traversals.
+func (l *Layout) EachNeighbor(i int, r units.Meters, fn func(j int)) {
+	pi := l.positions[i]
 	for j := range l.positions {
 		if j == i {
 			continue
 		}
-		if InRange(l.positions[i], l.positions[j], r) {
-			out = append(out, j)
+		if InRange(pi, l.positions[j], r) {
+			fn(j)
 		}
 	}
-	return out
 }
 
 // Connected reports whether every node can reach node root over links of
@@ -146,13 +195,13 @@ func (l *Layout) Connected(root int, r units.Meters) bool {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, nb := range l.Neighbors(cur, r) {
+		l.EachNeighbor(cur, r, func(nb int) {
 			if !seen[nb] {
 				seen[nb] = true
 				count++
 				queue = append(queue, nb)
 			}
-		}
+		})
 	}
 	return count == len(l.positions)
 }
@@ -172,12 +221,12 @@ func (l *Layout) HopCounts(root int, r units.Meters) []int {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, nb := range l.Neighbors(cur, r) {
+		l.EachNeighbor(cur, r, func(nb int) {
 			if hops[nb] == -1 {
 				hops[nb] = hops[cur] + 1
 				queue = append(queue, nb)
 			}
-		}
+		})
 	}
 	return hops
 }

@@ -28,7 +28,7 @@ type Poisson struct {
 	seq       uint64
 	generated uint64
 	running   bool
-	timer     *sim.Timer
+	timer     sim.Timer
 }
 
 // NewPoisson builds a Poisson source averaging rate bits per second.
@@ -60,7 +60,7 @@ func NewPoisson(
 		mean:    mean,
 		emit:    emit,
 	}
-	g.timer = sim.NewTimer(sched, g.tick)
+	g.timer.Init(sched, g.tick)
 	return g, nil
 }
 
@@ -128,7 +128,7 @@ type OnOff struct {
 	running   bool
 	on        bool
 	onUntil   sim.Time
-	timer     *sim.Timer
+	timer     sim.Timer
 }
 
 // NewOnOff builds an on/off source: peakRate while ON, with mean ON and
@@ -167,7 +167,7 @@ func NewOnOff(
 		meanOff: meanOff,
 		emit:    emit,
 	}
-	g.timer = sim.NewTimer(sched, g.tick)
+	g.timer.Init(sched, g.tick)
 	return g, nil
 }
 

@@ -27,7 +27,7 @@ type CBR struct {
 	seq       uint64
 	generated uint64
 	running   bool
-	timer     *sim.Timer
+	timer     sim.Timer
 }
 
 // NewCBR builds a source generating rate bits per second of payload from
@@ -61,7 +61,7 @@ func NewCBR(
 		period:  period,
 		emit:    emit,
 	}
-	g.timer = sim.NewTimer(sched, g.tick)
+	g.timer.Init(sched, g.tick)
 	return g, nil
 }
 
