@@ -10,6 +10,7 @@ import (
 	"bulktx/internal/mote"
 	"bulktx/internal/netsim"
 	"bulktx/internal/sweep"
+	"bulktx/internal/topo"
 	"bulktx/internal/units"
 )
 
@@ -65,8 +66,47 @@ type (
 	// full run configuration.
 	SweepCache = sweep.Cache
 
+	// Scenario is a fully resolved simulation setup assembled from
+	// pluggable parts (topology, placement, workload, links, churn) by
+	// NewScenario.
+	Scenario = netsim.Scenario
+
+	// ScenarioOption configures a Scenario under construction (the
+	// With* functional options).
+	ScenarioOption = netsim.Option
+
+	// Topology is the pluggable node-placement part of a Scenario.
+	Topology = netsim.Topology
+
+	// SinkPolicy selects the collection node of a Scenario.
+	SinkPolicy = netsim.SinkPolicy
+
+	// SenderPolicy selects which nodes generate traffic.
+	SenderPolicy = netsim.SenderPolicy
+
+	// Workload is a Scenario's traffic model: arrival process plus
+	// homogeneous or per-sender rates.
+	Workload = netsim.Workload
+
+	// LinkModel is a Scenario's channel-quality model: flat or
+	// distance-dependent per-channel loss.
+	LinkModel = netsim.LinkModel
+
+	// Churn is a Scenario's node failure/recovery model.
+	Churn = netsim.Churn
+
+	// ChurnEvent is one scheduled failure or recovery.
+	ChurnEvent = netsim.ChurnEvent
+
+	// Position is a node location on the deployment plane (for
+	// ExplicitTopology).
+	Position = topo.Position
+
 	// Energy is an amount of energy in joules.
 	Energy = units.Energy
+
+	// Meters is a distance in meters.
+	Meters = units.Meters
 
 	// ByteSize is a quantity of data in bytes.
 	ByteSize = units.ByteSize
@@ -96,6 +136,75 @@ const (
 	TrafficCBR     = netsim.TrafficCBR
 	TrafficPoisson = netsim.TrafficPoisson
 	TrafficOnOff   = netsim.TrafficOnOff
+)
+
+// The composable Scenario surface, re-exported from the simulation
+// core. NewScenario assembles pluggable parts under functional options
+// and validates the whole at build time:
+//
+//	s, err := bulktx.NewScenario(
+//		bulktx.WithTopology(bulktx.ClusteredTopology(36, 4, 200, 25, 1)),
+//		bulktx.WithSenders(10),
+//		bulktx.WithWorkload(bulktx.PoissonWorkload(2*bulktx.Kbps)),
+//		bulktx.WithChurn(bulktx.RandomChurn(2, 30*time.Second, 7)),
+//	)
+//	res, err := bulktx.RunScenario(s)
+var (
+	// NewScenario assembles and validates a Scenario; see the netsim
+	// package documentation for defaults (the paper's single-hop
+	// evaluation).
+	NewScenario = netsim.NewScenario
+	// RunScenario executes one simulation of a built Scenario.
+	RunScenario = netsim.RunScenario
+	// RunScenarioMany executes seeded repetitions of a Scenario
+	// concurrently, in seed order.
+	RunScenarioMany = netsim.RunScenarioMany
+
+	// Topologies: the paper's grid, uniform-random and clustered
+	// geometric deployments, corridors, and explicit positions.
+	GridTopology      = netsim.GridTopology
+	UniformTopology   = netsim.UniformTopology
+	ClusteredTopology = netsim.ClusteredTopology
+	LinearTopology    = netsim.LinearTopology
+	ExplicitTopology  = netsim.ExplicitTopology
+
+	// Placement: sink and sender selection strategies.
+	SinkNearCenter       = netsim.SinkNearCenter
+	SinkAt               = netsim.SinkAt
+	StableShuffleSenders = netsim.StableShuffleSenders
+	ShuffledSenders      = netsim.ShuffledSenders
+	ExplicitSenders      = netsim.ExplicitSenders
+	FarthestSenders      = netsim.FarthestSenders
+
+	// Workloads and links.
+	CBRWorkload     = netsim.CBRWorkload
+	PoissonWorkload = netsim.PoissonWorkload
+	OnOffWorkload   = netsim.OnOffWorkload
+	DistanceLoss    = netsim.DistanceLoss
+
+	// Churn models.
+	ScheduledChurn = netsim.ScheduledChurn
+	RandomChurn    = netsim.RandomChurn
+
+	// Scenario options.
+	WithModel             = netsim.WithModel
+	WithTopology          = netsim.WithTopology
+	WithSink              = netsim.WithSink
+	WithSenders           = netsim.WithSenders
+	WithSenderPolicy      = netsim.WithSenderPolicy
+	WithWorkload          = netsim.WithWorkload
+	WithLinks             = netsim.WithLinks
+	WithChurn             = netsim.WithChurn
+	WithDuration          = netsim.WithDuration
+	WithBurst             = netsim.WithBurst
+	WithSeed              = netsim.WithSeed
+	WithRadios            = netsim.WithRadios
+	WithWifiRange         = netsim.WithWifiRange
+	WithPostBurstLinger   = netsim.WithPostBurstLinger
+	WithShortcutLearner   = netsim.WithShortcutLearner
+	WithMinGrant          = netsim.WithMinGrant
+	WithAdaptiveThreshold = netsim.WithAdaptiveThreshold
+	WithDelayBound        = netsim.WithDelayBound
 )
 
 // Table1 returns the paper's Table 1 radio profiles.

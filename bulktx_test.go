@@ -64,6 +64,49 @@ func TestSimulationThroughFacade(t *testing.T) {
 	}
 }
 
+func TestScenarioThroughFacade(t *testing.T) {
+	s, err := bulktx.NewScenario(
+		bulktx.WithModel(bulktx.ModelDual),
+		bulktx.WithTopology(bulktx.ClusteredTopology(36, 4, 200, 25, 1)),
+		bulktx.WithSink(bulktx.SinkNearCenter()),
+		bulktx.WithSenders(5),
+		bulktx.WithWorkload(bulktx.CBRWorkload(2*bulktx.Kbps)),
+		bulktx.WithLinks(bulktx.LinkModel{SensorLossAt: bulktx.DistanceLoss(0, 0.1, 40)}),
+		bulktx.WithChurn(bulktx.RandomChurn(2, 30*time.Second, 7)),
+		bulktx.WithDuration(120*time.Second),
+		bulktx.WithBurst(100),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bulktx.RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goodput() <= 0.5 {
+		t.Errorf("goodput = %.3f", res.Goodput())
+	}
+	many, err := bulktx.RunScenarioMany(s, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(many) != 2 {
+		t.Fatalf("runs = %d", len(many))
+	}
+	if _, err := bulktx.NewScenario(bulktx.WithSenders(-1)); err == nil {
+		t.Error("invalid scenario accepted through facade")
+	}
+	// The compatibility compile is exposed on the flat config.
+	cfg := bulktx.NewSimConfig(bulktx.ModelDual, 5, 100, 1)
+	compiled, err := cfg.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.Nodes() != cfg.Nodes || compiled.TopologyKind() != "grid" {
+		t.Errorf("compiled scenario: %d nodes, %q", compiled.Nodes(), compiled.TopologyKind())
+	}
+}
+
 func TestMultiHopConfigThroughFacade(t *testing.T) {
 	cfg := bulktx.NewMultiHopSimConfig(5, 100, 1)
 	if cfg.WifiRange != 250 {

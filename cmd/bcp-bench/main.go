@@ -10,6 +10,13 @@
 // The emitted JSON carries ns/op, B/op, allocs/op and any custom
 // benchmark metrics (events/s for the simulation throughput benchmark)
 // plus enough environment metadata to compare runs.
+//
+// With -compare, bcp-bench instead runs only the simulation-throughput
+// benchmark, compares its events/s against the named baseline file and
+// exits non-zero when throughput regressed by more than -max-regress
+// (default 25%) — the CI guard against performance rot:
+//
+//	bcp-bench -compare BENCH_PR2.json -benchtime 1s
 package main
 
 import (
@@ -47,12 +54,22 @@ func main() {
 	testing.Init() // register test.* flags so benchtime is settable
 	out := flag.String("o", "BENCH_PR2.json", "output JSON path")
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measurement time")
+	compare := flag.String("compare", "", "baseline JSON: compare throughput instead of writing a report")
+	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional events/s regression under -compare")
 	flag.Parse()
 
 	// testing.Benchmark reads the package-level benchtime flag.
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
 		fmt.Fprintf(os.Stderr, "bcp-bench: set benchtime: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *compare != "" {
+		if err := compareThroughput(*compare, *maxRegress); err != nil {
+			fmt.Fprintf(os.Stderr, "bcp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	rep := report{
@@ -98,4 +115,48 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(rep.Benchmarks))
+}
+
+// compareThroughput measures SimulationThroughput and fails when its
+// events/s fall more than maxRegress below the committed baseline.
+// Events/s is machine-dependent like any wall-clock metric, so the
+// gate is only as sound as the baseline's provenance: regenerate the
+// baseline (bcp-bench -o) on the same runner class that enforces the
+// gate, and widen -max-regress rather than deleting the gate when
+// runner hardware is heterogeneous.
+func compareThroughput(baselinePath string, maxRegress float64) error {
+	if maxRegress < 0 || maxRegress >= 1 {
+		return fmt.Errorf("max-regress %v outside [0, 1)", maxRegress)
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline report
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	}
+	var want float64
+	for _, b := range baseline.Benchmarks {
+		if b.Name == "SimulationThroughput" {
+			want = b.Extra["events/s"]
+		}
+	}
+	if want <= 0 {
+		return fmt.Errorf("%s has no SimulationThroughput events/s metric", baselinePath)
+	}
+	fmt.Fprintln(os.Stderr, "running SimulationThroughput...")
+	r := testing.Benchmark(bench.SimulationThroughput)
+	got := r.Extra["events/s"]
+	if got <= 0 {
+		return fmt.Errorf("benchmark reported no events/s metric")
+	}
+	change := got/want - 1
+	fmt.Printf("SimulationThroughput: %.0f events/s vs baseline %.0f (%+.1f%%)\n",
+		got, want, change*100)
+	if got < want*(1-maxRegress) {
+		return fmt.Errorf("throughput regressed %.1f%% (limit %.0f%%): %.0f events/s vs baseline %.0f",
+			-change*100, maxRegress*100, got, want)
+	}
+	return nil
 }

@@ -5,9 +5,17 @@
 //
 //	bcp-sim -model dual -case sh -senders 15 -burst 500
 //	bcp-sim -model sensor -case mh -senders 35 -duration 5000s -runs 20
+//	bcp-sim -topology linear -nodes 24 -field 180 -senders 8
+//	bcp-sim -topology uniform -nodes 36 -field 150 -topo-seed 3
+//	bcp-sim -topology clustered -clusters 4 -churn 2 -churn-down 30s
+//
+// Topologies beyond the paper's grid ("uniform", "clustered", "linear")
+// and the churn model come from the Scenario API; the flags compile to
+// the same netsim.Config compatibility layer the sweep engine uses.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,40 +26,79 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h printed usage; a help request is not a failure
+		}
 		fmt.Fprintln(os.Stderr, "bcp-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	var (
-		model    = flag.String("model", "dual", "evaluation model: sensor|wifi|dual")
-		scenario = flag.String("case", "sh", "radio case: sh (Lucent 11 Mbps) | mh (Cabletron one hop)")
-		senders  = flag.Int("senders", 15, "number of CBR senders (1-35)")
-		burst    = flag.Int("burst", 500, "alpha-s* threshold in sensor packets")
-		rate     = flag.Float64("rate", 0, "per-sender rate in Kbps (0: case default)")
-		duration = flag.Duration("duration", 600*time.Second, "simulated duration")
-		runs     = flag.Int("runs", 3, "seeded repetitions")
-		seed     = flag.Int64("seed", 1, "base seed")
-		loss     = flag.Float64("loss", 0, "sensor-channel loss probability")
-		shortcut = flag.Bool("shortcut", false, "use shortcut-learning wifi routes (dual model)")
-		traffic  = flag.String("traffic", "cbr", "arrival process: cbr|poisson|onoff")
-		bound    = flag.Duration("bound", 0, "delay bound (0: off); overdue data uses the sensor radio")
-		adaptive = flag.Float64("adaptive", 0, "adaptive threshold alpha (0: static threshold)")
-	)
-	flag.Parse()
+// options carries the parsed command line.
+type options struct {
+	model     string
+	scenario  string
+	senders   int
+	burst     int
+	rate      float64
+	duration  time.Duration
+	runs      int
+	seed      int64
+	loss      float64
+	shortcut  bool
+	traffic   string
+	bound     time.Duration
+	adaptive  float64
+	topology  string
+	nodes     int
+	field     float64
+	topoSeed  int64
+	clusters  int
+	churn     float64
+	churnDown time.Duration
+}
 
-	var cfg bulktx.SimConfig
-	switch *scenario {
-	case "sh":
-		cfg = bulktx.NewSimConfig(bulktx.ModelDual, *senders, *burst, *seed)
-	case "mh":
-		cfg = bulktx.NewMultiHopSimConfig(*senders, *burst, *seed)
-	default:
-		return fmt.Errorf("unknown case %q (want sh or mh)", *scenario)
+func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
+	var o options
+	fs.StringVar(&o.model, "model", "dual", "evaluation model: sensor|wifi|dual")
+	fs.StringVar(&o.scenario, "case", "sh", "radio case: sh (Lucent 11 Mbps) | mh (Cabletron one hop)")
+	fs.IntVar(&o.senders, "senders", 15, "number of CBR senders (1-35)")
+	fs.IntVar(&o.burst, "burst", 500, "alpha-s* threshold in sensor packets")
+	fs.Float64Var(&o.rate, "rate", 0, "per-sender rate in Kbps (0: case default)")
+	fs.DurationVar(&o.duration, "duration", 600*time.Second, "simulated duration")
+	fs.IntVar(&o.runs, "runs", 3, "seeded repetitions")
+	fs.Int64Var(&o.seed, "seed", 1, "base seed")
+	fs.Float64Var(&o.loss, "loss", 0, "sensor-channel loss probability")
+	fs.BoolVar(&o.shortcut, "shortcut", false, "use shortcut-learning wifi routes (dual model)")
+	fs.StringVar(&o.traffic, "traffic", "cbr", "arrival process: cbr|poisson|onoff")
+	fs.DurationVar(&o.bound, "bound", 0, "delay bound (0: off); overdue data uses the sensor radio")
+	fs.Float64Var(&o.adaptive, "adaptive", 0, "adaptive threshold alpha (0: static threshold)")
+	fs.StringVar(&o.topology, "topology", "grid", "node layout: grid|uniform|clustered|linear")
+	fs.IntVar(&o.nodes, "nodes", 0, "deployment size (0: the paper's 36)")
+	fs.Float64Var(&o.field, "field", 0, "field edge / corridor length in meters (0: the paper's 200)")
+	fs.Int64Var(&o.topoSeed, "topo-seed", 0, "placement seed for random topologies (0: fixed default placement)")
+	fs.IntVar(&o.clusters, "clusters", 0, "hotspot count for -topology clustered (0: default 4)")
+	fs.Float64Var(&o.churn, "churn", 0, "node churn rate in failures per node-hour (0: off)")
+	fs.DurationVar(&o.churnDown, "churn-down", 0, "mean outage length under churn (0: default 60s)")
+	if err := fs.Parse(args); err != nil {
+		return options{}, err
 	}
-	switch *model {
+	return o, nil
+}
+
+// buildConfig compiles the command line into a simulation config.
+func buildConfig(o options) (bulktx.SimConfig, error) {
+	var cfg bulktx.SimConfig
+	switch o.scenario {
+	case "sh":
+		cfg = bulktx.NewSimConfig(bulktx.ModelDual, o.senders, o.burst, o.seed)
+	case "mh":
+		cfg = bulktx.NewMultiHopSimConfig(o.senders, o.burst, o.seed)
+	default:
+		return cfg, fmt.Errorf("unknown case %q (want sh or mh)", o.scenario)
+	}
+	switch o.model {
 	case "sensor":
 		cfg.Model = bulktx.ModelSensor
 	case "wifi":
@@ -59,14 +106,14 @@ func run() error {
 	case "dual":
 		cfg.Model = bulktx.ModelDual
 	default:
-		return fmt.Errorf("unknown model %q (want sensor, wifi or dual)", *model)
+		return cfg, fmt.Errorf("unknown model %q (want sensor, wifi or dual)", o.model)
 	}
-	cfg.Duration = *duration
-	cfg.SensorLoss = *loss
-	cfg.UseShortcutLearner = *shortcut
-	cfg.DelayBound = *bound
-	cfg.AdaptiveThresholdAlpha = *adaptive
-	switch *traffic {
+	cfg.Duration = o.duration
+	cfg.SensorLoss = o.loss
+	cfg.UseShortcutLearner = o.shortcut
+	cfg.DelayBound = o.bound
+	cfg.AdaptiveThresholdAlpha = o.adaptive
+	switch o.traffic {
 	case "cbr":
 		cfg.Traffic = bulktx.TrafficCBR
 	case "poisson":
@@ -74,21 +121,64 @@ func run() error {
 	case "onoff":
 		cfg.Traffic = bulktx.TrafficOnOff
 	default:
-		return fmt.Errorf("unknown traffic %q (want cbr, poisson or onoff)", *traffic)
+		return cfg, fmt.Errorf("unknown traffic %q (want cbr, poisson or onoff)", o.traffic)
 	}
-	if *rate > 0 {
-		cfg.Rate = bulktx.BitRate(*rate) * bulktx.Kbps
+	if o.rate > 0 {
+		cfg.Rate = bulktx.BitRate(o.rate) * bulktx.Kbps
 	}
 
-	results, err := bulktx.RunSimulations(cfg, *runs, *seed)
+	switch o.topology {
+	case "", "grid":
+		cfg.Topology = ""
+	case "uniform", "clustered", "linear":
+		cfg.Topology = o.topology
+	default:
+		return cfg, fmt.Errorf("unknown topology %q (want grid, uniform, clustered or linear)",
+			o.topology)
+	}
+	if o.nodes > 0 {
+		cfg.Nodes = o.nodes
+	}
+	if o.field > 0 {
+		cfg.Field = bulktx.Meters(o.field)
+	}
+	cfg.TopologySeed = o.topoSeed
+	cfg.Clusters = o.clusters
+	cfg.ChurnRate = o.churn
+	cfg.ChurnMeanDowntime = o.churnDown
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+func run(args []string) error {
+	o, err := parseFlags(flag.NewFlagSet("bcp-sim", flag.ContinueOnError), args)
+	if err != nil {
+		return err
+	}
+	cfg, err := buildConfig(o)
+	if err != nil {
+		return err
+	}
+
+	results, err := bulktx.RunSimulations(cfg, o.runs, o.seed)
 	if err != nil {
 		return err
 	}
 	goodput, normE, idealE, delay := netsim.Summaries(results)
 	last := results[len(results)-1]
 
-	fmt.Printf("model=%s case=%s senders=%d burst=%d rate=%v duration=%v runs=%d\n",
-		cfg.Model, *scenario, *senders, *burst, cfg.Rate, *duration, *runs)
+	topoLabel := cfg.Topology
+	if topoLabel == "" {
+		topoLabel = "grid"
+	}
+	fmt.Printf("model=%s case=%s topology=%s senders=%d burst=%d rate=%v duration=%v runs=%d",
+		cfg.Model, o.scenario, topoLabel, o.senders, o.burst, cfg.Rate, o.duration, o.runs)
+	if cfg.ChurnRate > 0 {
+		fmt.Printf(" churn=%g/node-h", cfg.ChurnRate)
+	}
+	fmt.Println()
 	fmt.Printf("  goodput            %s\n", goodput)
 	fmt.Printf("  energy (J/Kbit)    %s\n", normE)
 	if cfg.Model == bulktx.ModelSensor {

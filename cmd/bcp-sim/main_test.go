@@ -1,0 +1,115 @@
+package main
+
+import (
+	"flag"
+	"strings"
+	"testing"
+	"time"
+
+	"bulktx"
+)
+
+func mustParse(t *testing.T, args ...string) options {
+	t.Helper()
+	o, err := parseFlags(flag.NewFlagSet("test", flag.ContinueOnError), args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestBuildConfigTopologies(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{}, ""},
+		{[]string{"-topology", "grid"}, ""},
+		{[]string{"-topology", "uniform", "-field", "150", "-topo-seed", "3"}, "uniform"},
+		{[]string{"-topology", "clustered", "-clusters", "4"}, "clustered"},
+		{[]string{"-topology", "linear", "-nodes", "24"}, "linear"},
+	} {
+		cfg, err := buildConfig(mustParse(t, tc.args...))
+		if err != nil {
+			t.Fatalf("%v: %v", tc.args, err)
+		}
+		if cfg.Topology != tc.want {
+			t.Errorf("%v: topology = %q, want %q", tc.args, cfg.Topology, tc.want)
+		}
+	}
+	cfg, err := buildConfig(mustParse(t, "-topology", "linear", "-nodes", "24", "-field", "120"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Nodes != 24 || cfg.Field != 120 {
+		t.Errorf("nodes/field = %d/%v", cfg.Nodes, cfg.Field)
+	}
+	if _, err := buildConfig(mustParse(t, "-topology", "torus")); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+func TestBuildConfigChurn(t *testing.T) {
+	cfg, err := buildConfig(mustParse(t, "-churn", "2.5", "-churn-down", "30s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ChurnRate != 2.5 || cfg.ChurnMeanDowntime != 30*time.Second {
+		t.Errorf("churn = %v/%v", cfg.ChurnRate, cfg.ChurnMeanDowntime)
+	}
+	if _, err := buildConfig(mustParse(t, "-churn", "-1")); err == nil {
+		t.Error("negative churn accepted")
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-case", "xx"},
+		{"-model", "quantum"},
+		{"-traffic", "fractal"},
+		{"-senders", "0"},
+	} {
+		if _, err := buildConfig(mustParse(t, args...)); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+// Every named topology plus churn runs end-to-end through the CLI
+// entry point.
+func TestRunEndToEndAcrossScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, args := range [][]string{
+		{"-duration", "60s", "-runs", "1", "-senders", "5", "-rate", "2"},
+		{"-topology", "uniform", "-field", "150", "-topo-seed", "1",
+			"-duration", "60s", "-runs", "1", "-senders", "5", "-rate", "2"},
+		{"-topology", "clustered", "-duration", "60s", "-runs", "1",
+			"-senders", "5", "-rate", "2"},
+		{"-topology", "linear", "-duration", "60s", "-runs", "1",
+			"-senders", "5", "-rate", "2"},
+		{"-churn", "4", "-churn-down", "20s", "-duration", "60s", "-runs", "1",
+			"-senders", "5", "-rate", "2"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+// The partitioned-deployment diagnostic reaches the CLI user intact.
+func TestRunReportsConnectivityError(t *testing.T) {
+	err := run([]string{"-topology", "uniform", "-topo-seed", "2",
+		"-duration", "30s", "-runs", "1"})
+	if err == nil || !strings.Contains(err.Error(), "not connected") {
+		t.Errorf("err = %v, want connectivity diagnostic", err)
+	}
+}
+
+func TestMeterAliasCompiles(t *testing.T) {
+	var m bulktx.Meters = 200
+	if float64(m) != 200 {
+		t.Error("Meters alias broken")
+	}
+}

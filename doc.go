@@ -23,7 +23,38 @@
 //   - runners that regenerate every table and figure of the paper — see
 //     RunExperiment;
 //   - a parallel sweep-orchestration engine for grids of seeded runs
-//     (the shape of every evaluation in the paper) — see RunSweep.
+//     (the shape of every evaluation in the paper) — see RunSweep;
+//   - a composable Scenario API generalizing the paper's single
+//     evaluation shape to arbitrary deployments — see NewScenario.
+//
+// # Scenarios
+//
+// NewScenario assembles a simulation from pluggable parts under
+// functional options, validating everything at build time: a Topology
+// (GridTopology, UniformTopology, ClusteredTopology, LinearTopology,
+// ExplicitTopology), sink and sender placement policies
+// (SinkNearCenter/SinkAt, StableShuffleSenders/ExplicitSenders/
+// FarthestSenders), a Workload (CBR, Poisson or on/off arrivals with
+// homogeneous or per-sender rates), a LinkModel (flat or
+// distance-dependent loss) and a Churn model (scheduled or random node
+// failures and recoveries). RunScenario executes one run;
+// RunScenarioMany fans seeded repetitions over the CPU.
+//
+//	s, _ := bulktx.NewScenario(
+//		bulktx.WithTopology(bulktx.LinearTopology(24, 180)),
+//		bulktx.WithSink(bulktx.SinkAt(0)),
+//		bulktx.WithSenderPolicy(bulktx.FarthestSenders()),
+//		bulktx.WithSenders(6),
+//		bulktx.WithChurn(bulktx.RandomChurn(2, 30*time.Second, 7)),
+//	)
+//	res, _ := bulktx.RunScenario(s)
+//
+// The flat SimConfig remains as the serializable compatibility layer
+// behind sweeps and JSON specs; it compiles onto a Scenario
+// (SimConfig.Scenario) and fixed-seed results through either surface
+// are byte-identical. Treat direct SimConfig field mutation as
+// deprecated outside serialization — the builder makes every default
+// explicit and rejects invalid compositions before any event runs.
 //
 // # Sweeps
 //

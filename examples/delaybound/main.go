@@ -37,11 +37,17 @@ func run() error {
 		"delay bound", "goodput", "energy (J/Kbit)", "mean delay", "sensor sends")
 
 	for _, bound := range []time.Duration{0, 60 * time.Second, 15 * time.Second, 5 * time.Second} {
-		cfg := bulktx.NewSimConfig(bulktx.ModelDual, senders, burst, 1)
-		cfg.Duration = 600 * time.Second
-		cfg.Rate = 2 * bulktx.Kbps
-		cfg.DelayBound = bound
-		results, err := bulktx.RunSimulations(cfg, runs, 1)
+		scenario, err := bulktx.NewScenario(
+			bulktx.WithSenders(senders),
+			bulktx.WithBurst(burst),
+			bulktx.WithWorkload(bulktx.CBRWorkload(2*bulktx.Kbps)),
+			bulktx.WithDuration(600*time.Second),
+			bulktx.WithDelayBound(bound),
+		)
+		if err != nil {
+			return err
+		}
+		results, err := bulktx.RunScenarioMany(scenario, runs, 1)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,105 @@
+// Scenarios: one deployment question, five answers.
+//
+// The paper evaluates BCP on exactly one shape — a 6x6 grid with a
+// near-center sink and CBR senders. The composable Scenario API asks
+// the same energy question on deployments the paper could not express:
+// a uniform-random geometric scatter, a clustered event-driven field, a
+// linear corridor (pipeline / tunnel), and a grid under node churn with
+// distance-dependent link loss. Each row runs the dual-radio model and
+// its sensor-network baseline on an identical layout and reports the
+// energy advantage of bulk transmission.
+//
+// Run with: go run ./examples/scenarios
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"bulktx"
+	"bulktx/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		senders = 8
+		burst   = 500
+		runs    = 3
+	)
+	duration := 10 * time.Minute
+	rate := 2 * bulktx.Kbps
+
+	rows := []struct {
+		name string
+		opts []bulktx.ScenarioOption
+	}{
+		{"grid 6x6 (the paper)", nil},
+		{"uniform random scatter", []bulktx.ScenarioOption{
+			bulktx.WithTopology(bulktx.UniformTopology(36, 150, 1)),
+		}},
+		{"clustered hotspots", []bulktx.ScenarioOption{
+			bulktx.WithTopology(bulktx.ClusteredTopology(36, 4, 200, 25, 1)),
+		}},
+		{"linear corridor", []bulktx.ScenarioOption{
+			bulktx.WithTopology(bulktx.LinearTopology(36, 200)),
+		}},
+		{"grid + churn + path loss", []bulktx.ScenarioOption{
+			bulktx.WithChurn(bulktx.RandomChurn(2, 30*time.Second, 7)),
+			bulktx.WithLinks(bulktx.LinkModel{
+				SensorLossAt: bulktx.DistanceLoss(0, 0.15, 40),
+			}),
+		}},
+	}
+
+	fmt.Printf("BCP (burst %d) vs pure sensor network, %d senders at %v for %v\n\n",
+		burst, senders, rate, duration)
+	fmt.Printf("%-26s %10s %10s %16s %16s %9s\n",
+		"deployment", "goodput", "(sensor)", "J/Kbit", "(sensor)", "saving")
+
+	for _, row := range rows {
+		base := []bulktx.ScenarioOption{
+			bulktx.WithSenders(senders),
+			bulktx.WithBurst(burst),
+			bulktx.WithWorkload(bulktx.CBRWorkload(rate)),
+			bulktx.WithDuration(duration),
+		}
+		base = append(base, row.opts...)
+
+		dual, err := bulktx.NewScenario(append(base[:len(base):len(base)],
+			bulktx.WithModel(bulktx.ModelDual))...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", row.name, err)
+		}
+		sensor, err := bulktx.NewScenario(append(base[:len(base):len(base)],
+			bulktx.WithModel(bulktx.ModelSensor))...)
+		if err != nil {
+			return fmt.Errorf("%s: %w", row.name, err)
+		}
+
+		dualRes, err := bulktx.RunScenarioMany(dual, runs, 1)
+		if err != nil {
+			return err
+		}
+		sensorRes, err := bulktx.RunScenarioMany(sensor, runs, 1)
+		if err != nil {
+			return err
+		}
+		dG, dE, _, _ := netsim.Summaries(dualRes)
+		sG, sE, _, _ := netsim.Summaries(sensorRes)
+		fmt.Printf("%-26s %10.3f %10.3f %16.5f %16.5f %8.1fx\n",
+			row.name, dG.Mean, sG.Mean, dE.Mean, sE.Mean, sE.Mean/dE.Mean)
+	}
+
+	fmt.Println("\nThe energy advantage survives every deployment shape: wherever enough" +
+		"\ndata accumulates, shipping it in bulk over the high-power radio beats" +
+		"\ntrickling it hop-by-hop — even with nodes failing mid-run.")
+	return nil
+}

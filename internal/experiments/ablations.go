@@ -226,3 +226,77 @@ func AblationLoss(s Scale) (metrics.Table, error) {
 	tbl.Series = append(tbl.Series, series)
 	return tbl, nil
 }
+
+// AblationTopology re-asks the paper's central energy question on every
+// layout family the Scenario API offers: does bulk transmission keep
+// beating the sensor network when the deployment is not a survey grid?
+func AblationTopology(s Scale) (metrics.Table, error) {
+	tbl := metrics.Table{
+		Title:  "Ablation: deployment topology vs normalized energy (SH, burst 500)",
+		XLabel: "senders",
+		YLabel: "normalized energy (J/Kbit)",
+	}
+	topologies := []string{netsim.TopoGrid, netsim.TopoClustered, netsim.TopoLinear}
+	var cfgs []netsim.Config
+	for _, topol := range topologies {
+		for _, n := range s.Senders {
+			cfg := s.baseConfig(SingleHop, netsim.ModelDual, n, 500)
+			// Grid cells keep the default empty topology (and no
+			// placement seed) so their cache keys coincide with the
+			// default-grid runs every other figure already produces.
+			if topol != netsim.TopoGrid {
+				cfg.Topology = topol
+			}
+			if topol == netsim.TopoClustered {
+				// Placement fixed across seeds and sender counts.
+				cfg.TopologySeed = 1
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	groups, err := engine.Grid(cfgs, s.Runs, s.BaseSeed)
+	if err != nil {
+		return tbl, err
+	}
+	for i, topol := range topologies {
+		series := metrics.Series{Label: topol}
+		for j, n := range s.Senders {
+			_, e, _, _ := netsim.Summaries(groups[i*len(s.Senders)+j])
+			series.X = append(series.X, float64(n))
+			series.Y = append(series.Y, e)
+		}
+		tbl.Series = append(tbl.Series, series)
+	}
+	return tbl, nil
+}
+
+// AblationChurn sweeps the node failure rate: goodput degrades
+// gracefully (the sink survives; only traffic transiting failed nodes
+// is lost) while the energy advantage persists.
+func AblationChurn(s Scale) (metrics.Table, error) {
+	tbl := metrics.Table{
+		Title:  "Ablation: node churn vs goodput (SH, burst 100, 15 senders)",
+		XLabel: "failures per node-hour",
+		YLabel: "goodput",
+	}
+	rates := []float64{0, 1, 2, 4, 8}
+	var cfgs []netsim.Config
+	for _, rate := range rates {
+		cfg := s.baseConfig(SingleHop, netsim.ModelDual, 15, 100)
+		cfg.ChurnRate = rate
+		cfg.ChurnMeanDowntime = 30 * time.Second
+		cfgs = append(cfgs, cfg)
+	}
+	groups, err := engine.Grid(cfgs, s.Runs, s.BaseSeed)
+	if err != nil {
+		return tbl, err
+	}
+	series := metrics.Series{Label: "DualRadio-100"}
+	for i, rate := range rates {
+		g, _, _, _ := netsim.Summaries(groups[i])
+		series.X = append(series.X, rate)
+		series.Y = append(series.Y, g)
+	}
+	tbl.Series = append(tbl.Series, series)
+	return tbl, nil
+}

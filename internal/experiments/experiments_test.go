@@ -184,7 +184,8 @@ func TestAblations(t *testing.T) {
 	sc := tinyScale()
 	for _, name := range []string{
 		"ablation-shortcut", "ablation-linger", "ablation-mingrant", "ablation-loss",
-		"ablation-adaptive", "ablation-delaybound",
+		"ablation-adaptive", "ablation-delaybound", "ablation-topology",
+		"ablation-churn",
 	} {
 		t.Run(name, func(t *testing.T) {
 			tbl, err := Run(name, sc)

@@ -34,6 +34,8 @@ func Registry() map[string]Runner {
 		"ablation-loss":       AblationLoss,
 		"ablation-adaptive":   AblationAdaptive,
 		"ablation-delaybound": AblationDelayBound,
+		"ablation-topology":   AblationTopology,
+		"ablation-churn":      AblationChurn,
 	}
 }
 

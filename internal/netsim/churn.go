@@ -1,0 +1,129 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// ChurnEvent is one scheduled availability change: at offset At into
+// the run, Node crashes (Down=true) or recovers (Down=false). A crashed
+// node's radios neither hear nor transmit until recovery; its
+// application keeps generating (and losing) traffic, which is the
+// observable cost of churn.
+type ChurnEvent struct {
+	At   time.Duration
+	Node int
+	Down bool
+}
+
+// Churn is the pluggable failure model of a Scenario: it expands into
+// the run's full failure/recovery schedule at build time, so the
+// schedule is validated (and inspectable) before any event executes.
+type Churn interface {
+	// Kind names the model ("scheduled", "random").
+	Kind() string
+	// Events returns the failure/recovery schedule for a deployment of
+	// nodes nodes with the given sink, covering [0, duration]. The sink
+	// must never be brought down. Implementations must be deterministic.
+	Events(nodes, sink int, duration time.Duration) ([]ChurnEvent, error)
+}
+
+// scheduledChurn replays an explicit event list.
+type scheduledChurn struct{ events []ChurnEvent }
+
+// ScheduledChurn replays the given failure/recovery events verbatim
+// (validated and sorted by time at scenario build).
+func ScheduledChurn(events ...ChurnEvent) Churn {
+	es := make([]ChurnEvent, len(events))
+	copy(es, events)
+	return scheduledChurn{events: es}
+}
+
+func (scheduledChurn) Kind() string { return "scheduled" }
+func (c scheduledChurn) Events(nodes, sink int, duration time.Duration) ([]ChurnEvent, error) {
+	out := make([]ChurnEvent, len(c.events))
+	copy(out, c.events)
+	for _, ev := range out {
+		switch {
+		case ev.At < 0 || ev.At > duration:
+			return nil, fmt.Errorf("netsim: churn event at %v outside run of %v", ev.At, duration)
+		case ev.Node < 0 || ev.Node >= nodes:
+			return nil, fmt.Errorf("netsim: churn event for node %d outside layout of %d nodes",
+				ev.Node, nodes)
+		case ev.Node == sink:
+			return nil, fmt.Errorf("netsim: churn must not bring down the sink (node %d)", ev.Node)
+		}
+	}
+	sortChurn(out)
+	return out, nil
+}
+
+// randomChurn alternates exponential up/down times per node.
+type randomChurn struct {
+	rate     float64 // expected failures per node per simulated hour
+	meanDown time.Duration
+	seed     int64
+}
+
+// RandomChurn fails each non-sink node independently at the given rate
+// (expected failures per node per simulated hour), with exponentially
+// distributed uptimes and downtimes (mean downtime meanDown). The seed
+// fixes the schedule independently of the run seed.
+func RandomChurn(rate float64, meanDown time.Duration, seed int64) Churn {
+	return randomChurn{rate: rate, meanDown: meanDown, seed: seed}
+}
+
+func (randomChurn) Kind() string { return "random" }
+func (c randomChurn) Events(nodes, sink int, duration time.Duration) ([]ChurnEvent, error) {
+	if c.rate <= 0 {
+		return nil, fmt.Errorf("netsim: churn rate %v must be positive", c.rate)
+	}
+	if c.meanDown <= 0 {
+		return nil, fmt.Errorf("netsim: churn mean downtime %v must be positive", c.meanDown)
+	}
+	meanUp := time.Duration(float64(time.Hour) / c.rate)
+	rng := rand.New(rand.NewSource(c.seed))
+	expSample := func(mean time.Duration) time.Duration {
+		u := rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		return time.Duration(-math.Log(u) * float64(mean))
+	}
+	var out []ChurnEvent
+	for node := 0; node < nodes; node++ {
+		if node == sink {
+			continue
+		}
+		for at := expSample(meanUp); at <= duration; {
+			out = append(out, ChurnEvent{At: at, Node: node, Down: true})
+			at += expSample(c.meanDown)
+			if at > duration {
+				break
+			}
+			out = append(out, ChurnEvent{At: at, Node: node, Down: false})
+			at += expSample(meanUp)
+		}
+	}
+	sortChurn(out)
+	return out, nil
+}
+
+// sortChurn orders events by time, then node, then recovery-first —
+// a total order, so the schedule is deterministic however it was
+// generated.
+func sortChurn(events []ChurnEvent) {
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return !a.Down && b.Down
+	})
+}

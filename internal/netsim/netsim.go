@@ -12,7 +12,12 @@
 //     wake-up, overhearing).
 //
 // The default scenario is the paper's: a 6x6 grid over 200x200 m, a
-// near-center sink, N CBR senders, 5000 s runs.
+// near-center sink, N CBR senders, 5000 s runs. Beyond it, the
+// composable Scenario API (NewScenario with functional options)
+// assembles runs from pluggable parts — Topology, sink and sender
+// placement policies, Workload, LinkModel and Churn — validated at
+// build time; the flat Config is the serializable compatibility layer
+// that compiles onto a Scenario via Config.Scenario.
 package netsim
 
 import (
@@ -91,7 +96,19 @@ func (t Traffic) String() string {
 	}
 }
 
-// Config describes one simulation run.
+// Config is the flat, serializable description of one simulation run —
+// the compatibility and wire format behind the composable Scenario API.
+// New code should prefer NewScenario with functional options
+// (WithTopology, WithSenders, WithChurn, ...), which makes every
+// default explicit and validates at build time; a Config compiles to a
+// Scenario via Config.Scenario, and fixed-seed results through either
+// surface are identical. Direct field access remains supported for
+// sweeps, JSON specs and caches, where a flat struct is the right
+// shape; prefer the builder everywhere else.
+//
+// Deprecated sentinels kept for compatibility: Sink < 0 selects the
+// near-center default (the builder's explicit SinkNearCenter), and
+// zero-valued fields inherit scenario defaults at compile time.
 type Config struct {
 	// Model selects sensor / 802.11 / dual-radio.
 	Model Model
@@ -159,6 +176,31 @@ type Config struct {
 	// work): buffered packets older than this are sent over the
 	// low-power radio. Zero disables.
 	DelayBound time.Duration
+
+	// Topology selects the layout family: "" or "grid" (default),
+	// "uniform", "clustered", "linear". The new fields below are the
+	// flat forms of the Scenario API's pluggable parts; they carry
+	// omitempty JSON tags so configurations that do not use them keep
+	// their pre-redesign encoding (and sweep cache keys) byte-for-byte.
+	Topology string `json:",omitempty"`
+
+	// TopologySeed fixes the placement of random topologies (uniform,
+	// clustered) independently of the run seed, so seeded repetitions
+	// share one deployment (the senderPermSeed convention applied to
+	// geometry). Zero selects a fixed default placement.
+	TopologySeed int64 `json:",omitempty"`
+
+	// Clusters is the hotspot count of the clustered topology
+	// (default 4).
+	Clusters int `json:",omitempty"`
+
+	// ChurnRate enables random node churn: the expected number of
+	// failures per node per simulated hour. Zero disables churn.
+	ChurnRate float64 `json:",omitempty"`
+
+	// ChurnMeanDowntime is the mean outage length under churn
+	// (default 60 s).
+	ChurnMeanDowntime time.Duration `json:",omitempty"`
 }
 
 // DefaultConfig returns the paper's scenario for a model, sender count,
@@ -217,8 +259,106 @@ func (c Config) Validate() error {
 		return fmt.Errorf("netsim: negative delay bound")
 	case c.Traffic < TrafficCBR || c.Traffic > TrafficOnOff:
 		return fmt.Errorf("netsim: invalid traffic model %d", int(c.Traffic))
+	case c.Clusters < 0:
+		return fmt.Errorf("netsim: negative cluster count %d", c.Clusters)
+	case c.ChurnRate < 0:
+		return fmt.Errorf("netsim: negative churn rate %v", c.ChurnRate)
+	case c.ChurnMeanDowntime < 0:
+		return fmt.Errorf("netsim: negative churn downtime %v", c.ChurnMeanDowntime)
+	}
+	switch c.Topology {
+	case "", TopoGrid, TopoUniform, TopoClustered, TopoLinear:
+	default:
+		return fmt.Errorf("netsim: unknown topology %q (want %v)",
+			c.Topology, TopologyKinds())
 	}
 	return nil
+}
+
+// churnSeedSalt decorrelates the churn schedule's PRNG stream from the
+// scheduler's, which is seeded with the run seed directly.
+const churnSeedSalt = 0x5EED_C4A5
+
+// defaultTopologySeed places random topologies when the config does
+// not pin one. It is a fixed constant — not the run seed — so seeded
+// repetitions share one deployment and a multi-rep batch cannot
+// straddle connected and partitioned layouts.
+const defaultTopologySeed = 1
+
+// topology materializes the config's flat topology fields into the
+// Scenario API's pluggable form.
+func (c Config) topology() Topology {
+	seed := c.TopologySeed
+	if seed == 0 {
+		seed = defaultTopologySeed
+	}
+	switch c.Topology {
+	case TopoUniform:
+		return UniformTopology(c.Nodes, c.Field, seed)
+	case TopoClustered:
+		clusters := c.Clusters
+		if clusters == 0 {
+			clusters = 4
+		}
+		// Spread scales with per-cluster share of the field so clusters
+		// stay distinct but internally connected at sensor range.
+		return ClusteredTopology(c.Nodes, clusters, c.Field, c.Field/8, seed)
+	case TopoLinear:
+		return LinearTopology(c.Nodes, c.Field)
+	default:
+		return GridTopology(c.Nodes, c.Field)
+	}
+}
+
+// Scenario compiles the flat configuration into a built Scenario. The
+// compilation is exact: a fixed-seed run through the compiled scenario
+// is byte-identical to the pre-redesign flat-config runner (asserted by
+// the golden-fingerprint tests).
+func (c Config) Scenario() (*Scenario, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	sink := SinkPolicy(SinkNearCenter())
+	if c.Sink >= 0 {
+		sink = SinkAt(c.Sink)
+	}
+	opts := []Option{
+		WithModel(c.Model),
+		WithTopology(c.topology()),
+		WithSink(sink),
+		WithSenders(c.Senders),
+		WithSenderPolicy(StableShuffleSenders()),
+		WithWorkload(Workload{Traffic: c.Traffic, Rate: c.Rate}),
+		WithLinks(LinkModel{SensorLoss: c.SensorLoss, WifiLoss: c.WifiLoss}),
+		WithDuration(c.Duration),
+		WithSeed(c.Seed),
+		WithRadios(c.SensorProfile, c.WifiProfile),
+		WithWifiRange(c.WifiRange),
+		WithPostBurstLinger(c.PostBurstLinger),
+		WithShortcutLearner(c.UseShortcutLearner),
+		WithMinGrant(c.MinGrantPackets),
+		WithAdaptiveThreshold(c.AdaptiveThresholdAlpha),
+		WithDelayBound(c.DelayBound),
+	}
+	if c.Model == ModelDual {
+		opts = append(opts, WithBurst(c.BurstPackets))
+	} else {
+		// The baseline models validate but never consult the threshold;
+		// pin it so flat configs with a zero burst still compile.
+		opts = append(opts, WithBurst(1))
+	}
+	if c.ChurnRate > 0 {
+		down := c.ChurnMeanDowntime
+		if down == 0 {
+			down = time.Minute
+		}
+		// The schedule varies per seeded repetition like any other noise
+		// process, but from a decorrelated stream: seeding it with the
+		// run seed verbatim would replay the exact PRNG sequence that
+		// drives channel loss, backoff and arrivals.
+		opts = append(opts, WithChurn(RandomChurn(c.ChurnRate, down, c.Seed^churnSeedSalt)))
+	}
+	return NewScenario(opts...)
 }
 
 // Result carries one run's outcomes.
@@ -260,9 +400,18 @@ func defaultSink(layout *topo.Layout) int {
 }
 
 // pickSenders returns the stable pseudo-random sender subset of size n
-// excluding the sink.
+// excluding the sink, under the default permutation seed.
 func pickSenders(nodes, sink, n int) []int {
-	perm := rand.New(rand.NewSource(senderPermSeed)).Perm(nodes)
+	return pickSendersSeeded(nodes, sink, n, senderPermSeed)
+}
+
+// pickSendersSeeded is pickSenders under an explicit permutation seed
+// (the shuffled sender policies' engine). The permutation is fixed by
+// permSeed alone — independent of the run seed — so sender sets nest
+// (the 5-sender set prefixes the 10-sender set) and repeat across
+// seeded repetitions.
+func pickSendersSeeded(nodes, sink, n int, permSeed int64) []int {
+	perm := rand.New(rand.NewSource(permSeed)).Perm(nodes)
 	senders := make([]int, 0, n)
 	for _, v := range perm {
 		if v == sink {

@@ -15,7 +15,6 @@ import (
 	"bulktx/internal/radio"
 	"bulktx/internal/routing"
 	"bulktx/internal/sim"
-	"bulktx/internal/topo"
 	"bulktx/internal/units"
 	"bulktx/internal/workload"
 )
@@ -74,29 +73,26 @@ func (f *forwarder) receive(frame radio.Frame) {
 	f.submit(p)
 }
 
-// Run executes one simulation and returns its outcomes.
+// Run executes one simulation described by the flat compatibility
+// Config and returns its outcomes. New code should prefer NewScenario +
+// RunScenario.
 func Run(cfg Config) (Result, error) {
-	return runInstrumented(cfg, nil)
-}
-
-// runInstrumented is Run with an optional per-node wifi meter probe.
-func runInstrumented(cfg Config, probe func(i int, wifi *energy.Meter, on bool)) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-	sched := sim.NewScheduler(cfg.Seed)
-	layout, err := topo.Grid(cfg.Nodes, cfg.Field)
+	s, err := cfg.Scenario()
 	if err != nil {
 		return Result{}, err
 	}
-	sink := cfg.Sink
-	if sink < 0 {
-		sink = defaultSink(layout)
-	}
-	if sink >= layout.Len() {
-		return Result{}, fmt.Errorf("netsim: sink %d outside layout", sink)
-	}
+	return runInstrumented(s, nil)
+}
 
+// RunScenario executes one simulation of a built Scenario.
+func RunScenario(s *Scenario) (Result, error) {
+	return runInstrumented(s, nil)
+}
+
+// runInstrumented executes a scenario with an optional per-node wifi
+// meter probe.
+func runInstrumented(s *Scenario, probe func(i int, wifi *energy.Meter, on bool)) (Result, error) {
+	sched := sim.NewScheduler(s.seed)
 	recorder := workload.NewRecorder(sched)
 	var (
 		res     Result
@@ -104,17 +100,18 @@ func runInstrumented(cfg Config, probe func(i int, wifi *energy.Meter, on bool))
 		sensorM []*mac.MAC
 		wifiM   []*mac.MAC
 		agents  []*core.Agent
+		err     error
 	)
 
-	switch cfg.Model {
+	switch s.model {
 	case ModelSensor:
-		sensorM, emit, err = buildSensorModel(cfg, sched, layout, sink, recorder)
+		sensorM, emit, err = buildSensorModel(s, sched, recorder)
 	case ModelWifi:
-		wifiM, emit, err = buildWifiModel(cfg, sched, layout, sink, recorder)
+		wifiM, emit, err = buildWifiModel(s, sched, recorder)
 	case ModelDual:
-		sensorM, wifiM, agents, emit, err = buildDualModel(cfg, sched, layout, sink, recorder)
+		sensorM, wifiM, agents, emit, err = buildDualModel(s, sched, recorder)
 	default:
-		err = fmt.Errorf("netsim: unhandled model %v", cfg.Model)
+		err = fmt.Errorf("netsim: unhandled model %v", s.model)
 	}
 	if err != nil {
 		return Result{}, err
@@ -124,22 +121,39 @@ func runInstrumented(cfg Config, probe func(i int, wifi *energy.Meter, on bool))
 	// their start across one burst-accumulation interval so threshold
 	// crossings do not synchronize into an artificial burst storm (the
 	// random processes desynchronize naturally).
-	var startWindow time.Duration
-	if cfg.Model == ModelDual {
-		period := time.Duration(float64(params.SensorPayload.Bits()) /
-			cfg.Rate.BitsPerSecond() * float64(time.Second))
-		startWindow = period * time.Duration(cfg.BurstPackets)
-	}
 	var generators []source
-	for _, s := range pickSenders(cfg.Nodes, sink, cfg.Senders) {
-		g, err := newSource(cfg, sched, s, sink, startWindow, emit[s])
+	for i, sender := range s.senderIDs {
+		rate := s.workload.RateFor(i)
+		var startWindow time.Duration
+		if s.model == ModelDual {
+			period := time.Duration(float64(params.SensorPayload.Bits()) /
+				rate.BitsPerSecond() * float64(time.Second))
+			startWindow = period * time.Duration(s.burstPackets)
+		}
+		g, err := newSource(s, sched, rate, sender, s.sinkID, startWindow, emit[sender])
 		if err != nil {
 			return Result{}, err
 		}
 		generators = append(generators, g)
 	}
 
-	sched.RunUntil(cfg.Duration)
+	// Churn: the schedule was resolved and validated at build time; each
+	// event toggles every radio of its node.
+	for _, ev := range s.churnEvents {
+		ev := ev
+		if _, err := sched.Schedule(sim.Time(ev.At), func() {
+			if ev.Node < len(sensorM) && sensorM != nil {
+				sensorM[ev.Node].Transceiver().SetFailed(ev.Down)
+			}
+			if ev.Node < len(wifiM) && wifiM != nil {
+				wifiM[ev.Node].Transceiver().SetFailed(ev.Down)
+			}
+		}); err != nil {
+			return Result{}, err
+		}
+	}
+
+	sched.RunUntil(s.duration)
 	for _, g := range generators {
 		g.Stop()
 	}
@@ -194,28 +208,29 @@ func runInstrumented(cfg Config, probe func(i int, wifi *energy.Meter, on bool))
 // charged into the Overhear ledger so both Sensor-ideal and
 // Sensor-header totals come out of one run.
 func buildSensorModel(
-	cfg Config,
+	s *Scenario,
 	sched *sim.Scheduler,
-	layout *topo.Layout,
-	sink int,
 	recorder *workload.Recorder,
 ) ([]*mac.MAC, []func(core.Packet), error) {
+	layout, sink := s.layout, s.sinkID
+	nodes := layout.Len()
 	ch, err := radio.NewChannel(sched, radio.Config{
 		Name:       "sensor",
-		Profile:    cfg.SensorProfile,
-		LossProb:   cfg.SensorLoss,
+		Profile:    s.sensorProfile,
+		LossProb:   s.links.SensorLoss,
+		LossAt:     s.links.SensorLossAt,
 		HeaderSize: params.SensorHeader,
 	}, layout)
 	if err != nil {
 		return nil, nil, err
 	}
-	tree, err := routing.BuildTree(layout, sink, cfg.SensorProfile.Range)
+	tree, err := routing.BuildTree(layout, sink, s.sensorProfile.Range)
 	if err != nil {
 		return nil, nil, err
 	}
-	macs := make([]*mac.MAC, cfg.Nodes)
-	emit := make([]func(core.Packet), cfg.Nodes)
-	for i := 0; i < cfg.Nodes; i++ {
+	macs := make([]*mac.MAC, nodes)
+	emit := make([]func(core.Packet), nodes)
+	for i := 0; i < nodes; i++ {
 		x, err := ch.Attach(radio.NodeID(i), radio.OverhearHeaderOnly, true)
 		if err != nil {
 			return nil, nil, err
@@ -238,21 +253,22 @@ func buildSensorModel(
 
 // buildWifiModel attaches only 802.11 radios, always on, fully charged.
 func buildWifiModel(
-	cfg Config,
+	s *Scenario,
 	sched *sim.Scheduler,
-	layout *topo.Layout,
-	sink int,
 	recorder *workload.Recorder,
 ) ([]*mac.MAC, []func(core.Packet), error) {
-	wifiRange := cfg.WifiRange
+	layout, sink := s.layout, s.sinkID
+	nodes := layout.Len()
+	wifiRange := s.wifiRange
 	if wifiRange == 0 {
-		wifiRange = cfg.WifiProfile.Range
+		wifiRange = s.wifiProfile.Range
 	}
 	ch, err := radio.NewChannel(sched, radio.Config{
 		Name:       "wifi",
-		Profile:    cfg.WifiProfile,
+		Profile:    s.wifiProfile,
 		Range:      wifiRange,
-		LossProb:   cfg.WifiLoss,
+		LossProb:   s.links.WifiLoss,
+		LossAt:     s.links.WifiLossAt,
 		HeaderSize: params.WifiHeader,
 	}, layout)
 	if err != nil {
@@ -262,9 +278,9 @@ func buildWifiModel(
 	if err != nil {
 		return nil, nil, err
 	}
-	macs := make([]*mac.MAC, cfg.Nodes)
-	emit := make([]func(core.Packet), cfg.Nodes)
-	for i := 0; i < cfg.Nodes; i++ {
+	macs := make([]*mac.MAC, nodes)
+	emit := make([]func(core.Packet), nodes)
+	for i := 0; i < nodes; i++ {
 		x, err := ch.Attach(radio.NodeID(i), radio.OverhearFull, true)
 		if err != nil {
 			return nil, nil, err
@@ -288,30 +304,32 @@ func buildWifiModel(
 
 // buildDualModel attaches both radios and a BCP agent per node.
 func buildDualModel(
-	cfg Config,
+	s *Scenario,
 	sched *sim.Scheduler,
-	layout *topo.Layout,
-	sink int,
 	recorder *workload.Recorder,
 ) ([]*mac.MAC, []*mac.MAC, []*core.Agent, []func(core.Packet), error) {
+	layout, sink := s.layout, s.sinkID
+	nodes := layout.Len()
 	sensorCh, err := radio.NewChannel(sched, radio.Config{
 		Name:       "sensor",
-		Profile:    cfg.SensorProfile,
-		LossProb:   cfg.SensorLoss,
+		Profile:    s.sensorProfile,
+		LossProb:   s.links.SensorLoss,
+		LossAt:     s.links.SensorLossAt,
 		HeaderSize: params.SensorHeader,
 	}, layout)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	wifiRange := cfg.WifiRange
+	wifiRange := s.wifiRange
 	if wifiRange == 0 {
-		wifiRange = cfg.WifiProfile.Range
+		wifiRange = s.wifiProfile.Range
 	}
 	wifiCh, err := radio.NewChannel(sched, radio.Config{
 		Name:          "wifi",
-		Profile:       cfg.WifiProfile,
+		Profile:       s.wifiProfile,
 		Range:         wifiRange,
-		LossProb:      cfg.WifiLoss,
+		LossProb:      s.links.WifiLoss,
+		LossAt:        s.links.WifiLossAt,
 		WakeupLatency: params.WifiWakeupLatency,
 		HeaderSize:    params.WifiHeader,
 	}, layout)
@@ -319,13 +337,13 @@ func buildDualModel(
 		return nil, nil, nil, nil, err
 	}
 
-	mesh, err := routing.BuildMesh(layout, cfg.SensorProfile.Range)
+	mesh, err := routing.BuildMesh(layout, s.sensorProfile.Range)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
 	var wifiRoute core.NextHopper
-	if cfg.UseShortcutLearner {
-		sensorTree, err := routing.BuildTree(layout, sink, cfg.SensorProfile.Range)
+	if s.useShortcutLearner {
+		sensorTree, err := routing.BuildTree(layout, sink, s.sensorProfile.Range)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
@@ -337,13 +355,13 @@ func buildDualModel(
 		}
 		wifiRoute = wifiTree
 	}
-	addr := routing.IdentityAddrMap(cfg.Nodes)
+	addr := routing.IdentityAddrMap(nodes)
 
-	sensorM := make([]*mac.MAC, cfg.Nodes)
-	wifiM := make([]*mac.MAC, cfg.Nodes)
-	agents := make([]*core.Agent, cfg.Nodes)
-	emit := make([]func(core.Packet), cfg.Nodes)
-	for i := 0; i < cfg.Nodes; i++ {
+	sensorM := make([]*mac.MAC, nodes)
+	wifiM := make([]*mac.MAC, nodes)
+	agents := make([]*core.Agent, nodes)
+	emit := make([]func(core.Packet), nodes)
+	for i := 0; i < nodes; i++ {
 		sx, err := sensorCh.Attach(radio.NodeID(i), radio.OverhearFree, true)
 		if err != nil {
 			return nil, nil, nil, nil, err
@@ -363,16 +381,16 @@ func buildDualModel(
 		}
 		sensorM[i], wifiM[i] = sm, wm
 
-		agentCfg := core.DefaultConfig(i, cfg.BurstPackets)
-		agentCfg.PostBurstLinger = cfg.PostBurstLinger
-		if cfg.MinGrantPackets > 0 {
-			agentCfg.MinGrant = units.ByteSize(cfg.MinGrantPackets) * params.SensorPayload
+		agentCfg := core.DefaultConfig(i, s.burstPackets)
+		agentCfg.PostBurstLinger = s.postBurstLinger
+		if s.minGrantPackets > 0 {
+			agentCfg.MinGrant = units.ByteSize(s.minGrantPackets) * params.SensorPayload
 		}
-		if cfg.AdaptiveThresholdAlpha > 0 {
+		if s.adaptiveAlpha > 0 {
 			agentCfg.AdaptiveThreshold = true
-			agentCfg.ThresholdAlpha = cfg.AdaptiveThresholdAlpha
+			agentCfg.ThresholdAlpha = s.adaptiveAlpha
 		}
-		agentCfg.DelayBound = cfg.DelayBound
+		agentCfg.DelayBound = s.delayBound
 		var deliver func(core.Packet)
 		if i == sink {
 			deliver = recorder.Receive
@@ -396,15 +414,16 @@ type source interface {
 // newSource builds and starts the configured traffic model for one
 // sender.
 func newSource(
-	cfg Config,
+	s *Scenario,
 	sched *sim.Scheduler,
+	rate units.BitRate,
 	sender, sink int,
 	startWindow time.Duration,
 	emit func(core.Packet),
 ) (source, error) {
-	switch cfg.Traffic {
+	switch s.workload.Traffic {
 	case TrafficPoisson:
-		g, err := workload.NewPoisson(sched, sender, sink, cfg.Rate, params.SensorPayload, emit)
+		g, err := workload.NewPoisson(sched, sender, sink, rate, params.SensorPayload, emit)
 		if err != nil {
 			return nil, err
 		}
@@ -412,19 +431,20 @@ func newSource(
 		return g, nil
 	case TrafficOnOff:
 		// Mean 2 s ON at 16x the mean rate; OFF sized so the long-run
-		// average matches cfg.Rate: duty = 1/16 -> meanOff = 15 * meanOn.
+		// average matches the configured rate: duty = 1/16 ->
+		// meanOff = 15 * meanOn.
 		const burstiness = 16
 		meanOn := 2 * time.Second
 		meanOff := (burstiness - 1) * meanOn
 		g, err := workload.NewOnOff(sched, sender, sink,
-			cfg.Rate*burstiness, params.SensorPayload, meanOn, meanOff, emit)
+			rate*burstiness, params.SensorPayload, meanOn, meanOff, emit)
 		if err != nil {
 			return nil, err
 		}
 		g.Start()
 		return g, nil
 	default:
-		g, err := workload.NewCBR(sched, sender, sink, cfg.Rate, params.SensorPayload, emit)
+		g, err := workload.NewCBR(sched, sender, sink, rate, params.SensorPayload, emit)
 		if err != nil {
 			return nil, err
 		}
@@ -470,6 +490,26 @@ func RunMany(cfg Config, runs int, baseSeed int64) ([]Result, error) {
 // RunManyWorkers is RunMany with an explicit concurrency limit
 // (workers < 1 selects runtime.NumCPU()).
 func RunManyWorkers(cfg Config, runs int, baseSeed int64, workers int) ([]Result, error) {
+	return runSeeded(runs, workers, func(r int) (Result, error) {
+		c := cfg
+		c.Seed = baseSeed + int64(r)
+		return Run(c)
+	})
+}
+
+// RunScenarioMany executes runs seeded repetitions of a scenario
+// (seeds base..base+runs-1) concurrently, in seed order. The scenario's
+// placement and churn schedule are part of the scenario and stay fixed
+// across repetitions; only the run seed (channel noise, MAC backoff,
+// arrival processes) varies.
+func RunScenarioMany(s *Scenario, runs int, baseSeed int64) ([]Result, error) {
+	return runSeeded(runs, 0, func(r int) (Result, error) {
+		return RunScenario(s.withSeed(baseSeed + int64(r)))
+	})
+}
+
+// runSeeded fans repetitions over a worker pool, preserving order.
+func runSeeded(runs, workers int, run func(r int) (Result, error)) ([]Result, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("netsim: runs %d < 1", runs)
 	}
@@ -492,9 +532,7 @@ func RunManyWorkers(cfg Config, runs int, baseSeed int64, workers int) ([]Result
 				if r >= runs {
 					return
 				}
-				c := cfg
-				c.Seed = baseSeed + int64(r)
-				out[r], errs[r] = Run(c)
+				out[r], errs[r] = run(r)
 			}
 		}()
 	}
@@ -533,5 +571,9 @@ func Summaries(results []Result) (goodput, normEnergy, idealEnergy metrics.Summa
 // (test/diagnostic hook; the callback receives the node index, its wifi
 // meter and whether the radio is still on at the end of the run).
 func RunDebug(cfg Config, probe func(i int, wifi *energy.Meter, on bool)) (Result, error) {
-	return runInstrumented(cfg, probe)
+	s, err := cfg.Scenario()
+	if err != nil {
+		return Result{}, err
+	}
+	return runInstrumented(s, probe)
 }

@@ -1,0 +1,536 @@
+package netsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"bulktx/internal/params"
+	"bulktx/internal/topo"
+	"bulktx/internal/units"
+)
+
+// fingerprint hashes a Result's canonical JSON encoding; two runs share
+// a fingerprint iff their outcomes are byte-identical.
+func fingerprint(t *testing.T, res Result) string {
+	t.Helper()
+	enc, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(enc)
+	return hex.EncodeToString(sum[:])
+}
+
+// Golden fingerprints of the PR 2 (pre-redesign) flat-config runner:
+// shortConfig(model, 5, 100, 1) and MultiHopConfig(5, 100, 1) at 300 s,
+// captured on the commit before the Scenario API landed. The
+// compatibility layer must reproduce them byte-for-byte.
+var goldenPR2 = map[string]string{
+	"sensor":   "49778f110aa4544eabd3c2f915b252002fbc0066e027eb0a174c965ed914c689",
+	"wifi":     "fbc255eb0518f739c800ee14a0eaf549b3f1899a1a2720af218757df6516ebda",
+	"dual":     "c6b2540b5cb64ba477a00b9b808d40dd84d782309b34951ca7545c41f74f3996",
+	"multihop": "e5ba45a5ad208b417944df49d1b268745f1c50ea773c89771a7267d4abbdd11c",
+}
+
+func TestGoldenFingerprintsThroughCompatLayer(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"sensor", shortConfig(ModelSensor, 5, 100, 1)},
+		{"wifi", shortConfig(ModelWifi, 5, 100, 1)},
+		{"dual", shortConfig(ModelDual, 5, 100, 1)},
+		{"multihop", func() Config {
+			c := MultiHopConfig(5, 100, 1)
+			c.Duration = testDuration
+			return c
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res := mustRun(t, tc.cfg)
+			if got := fingerprint(t, res); got != goldenPR2[tc.name] {
+				t.Errorf("fingerprint drifted from PR 2 baseline:\n got %s\nwant %s",
+					got, goldenPR2[tc.name])
+			}
+		})
+	}
+}
+
+// The explicit builder with equivalent parts must reproduce the same
+// bytes as the compiled flat config (same defaults, same wiring).
+func TestGoldenFingerprintThroughExplicitScenario(t *testing.T) {
+	s, err := NewScenario(
+		WithModel(ModelDual),
+		WithTopology(GridTopology(params.GridNodes, params.FieldSize)),
+		WithSink(SinkNearCenter()),
+		WithSenders(5),
+		WithSenderPolicy(StableShuffleSenders()),
+		WithWorkload(CBRWorkload(params.HighRate)),
+		WithDuration(testDuration),
+		WithBurst(100),
+		WithSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fingerprint(t, res); got != goldenPR2["dual"] {
+		t.Errorf("explicit scenario diverged from flat config:\n got %s\nwant %s",
+			got, goldenPR2["dual"])
+	}
+}
+
+// Subset property: under the default placement the 5-sender set
+// prefixes the 10-sender set, on the grid and on a random topology.
+func TestSenderSubsetProperty(t *testing.T) {
+	for _, topol := range []Topology{
+		GridTopology(36, 200),
+		UniformTopology(36, 150, 1),
+	} {
+		five, err := NewScenario(WithTopology(topol), WithSenders(5))
+		if err != nil {
+			t.Fatalf("%s: %v", topol.Kind(), err)
+		}
+		ten, err := NewScenario(WithTopology(topol), WithSenders(10))
+		if err != nil {
+			t.Fatalf("%s: %v", topol.Kind(), err)
+		}
+		a, b := five.SenderIDs(), ten.SenderIDs()
+		if len(a) != 5 || len(b) != 10 {
+			t.Fatalf("%s: sender counts %d/%d", topol.Kind(), len(a), len(b))
+		}
+		for i, s := range a {
+			if b[i] != s {
+				t.Errorf("%s: sender sets not nested at %d: %v vs %v",
+					topol.Kind(), i, a, b)
+			}
+		}
+		for _, s := range b {
+			if s == ten.Sink() {
+				t.Errorf("%s: sink %d selected as sender", topol.Kind(), s)
+			}
+		}
+	}
+}
+
+// scenarioDuration keeps the topology-matrix runs fast.
+const scenarioDuration = 120 * time.Second
+
+// All four named topology kinds run end-to-end under every model.
+func TestTopologyKindsEndToEnd(t *testing.T) {
+	topologies := []Topology{
+		GridTopology(36, 200),
+		UniformTopology(36, 150, 1),
+		ClusteredTopology(36, 4, 200, 25, 1),
+		LinearTopology(36, 200),
+	}
+	for _, topol := range topologies {
+		for _, model := range []Model{ModelSensor, ModelWifi, ModelDual} {
+			t.Run(topol.Kind()+"/"+model.String(), func(t *testing.T) {
+				s, err := NewScenario(
+					WithModel(model),
+					WithTopology(topol),
+					WithSenders(5),
+					WithWorkload(CBRWorkload(params.HighRate)),
+					WithDuration(scenarioDuration),
+					WithBurst(100),
+					WithSeed(1),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := RunScenario(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.GeneratedBits == 0 {
+					t.Fatal("nothing generated")
+				}
+				if g := res.Goodput(); g < 0.5 {
+					t.Errorf("goodput = %.3f, want > 0.5", g)
+				}
+				if res.TotalEnergy <= 0 {
+					t.Errorf("no energy charged")
+				}
+			})
+		}
+	}
+}
+
+// The flat compatibility fields reach the same topologies.
+func TestConfigTopologyFields(t *testing.T) {
+	cfg := shortConfig(ModelDual, 5, 100, 1)
+	cfg.Duration = scenarioDuration
+	for _, kind := range []string{TopoGrid, TopoClustered, TopoLinear} {
+		cfg.Topology = kind
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.GeneratedBits == 0 || res.Goodput() < 0.5 {
+			t.Errorf("%s: goodput %.3f", kind, res.Goodput())
+		}
+	}
+	// Uniform at grid density over 200 m is partitioned at 40 m sensor
+	// range: the builder must say so clearly instead of failing in
+	// routing.
+	cfg.Topology = TopoUniform
+	cfg.TopologySeed = 2
+	if _, err := Run(cfg); err == nil ||
+		!strings.Contains(err.Error(), "not connected") {
+		t.Errorf("partitioned uniform topology error = %v, want connectivity error", err)
+	}
+	cfg.Topology = "moebius"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown topology kind accepted")
+	}
+}
+
+func TestScenarioChurn(t *testing.T) {
+	base := []Option{
+		WithModel(ModelDual),
+		WithSenders(5),
+		WithWorkload(CBRWorkload(params.HighRate)),
+		WithDuration(scenarioDuration),
+		WithBurst(100),
+		WithSeed(1),
+	}
+	calm, err := NewScenario(base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churny, err := NewScenario(append(base[:len(base):len(base)],
+		WithChurn(RandomChurn(6, 30*time.Second, 7)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(churny.ChurnEvents()) == 0 {
+		t.Fatal("random churn produced no events")
+	}
+	for _, ev := range churny.ChurnEvents() {
+		if ev.Node == churny.Sink() {
+			t.Fatalf("churn schedule brings down the sink: %+v", ev)
+		}
+		if ev.At < 0 || ev.At > churny.Duration() {
+			t.Fatalf("churn event outside run: %+v", ev)
+		}
+	}
+	calmRes, err := RunScenario(calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnRes, err := RunScenario(churny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if churnRes.Goodput() >= calmRes.Goodput() {
+		t.Errorf("churn did not hurt goodput: %.3f vs calm %.3f",
+			churnRes.Goodput(), calmRes.Goodput())
+	}
+	if churnRes.Goodput() <= 0 {
+		t.Error("churn killed all delivery (sink should survive)")
+	}
+	// Determinism: the schedule is part of the scenario.
+	again, err := RunScenario(churny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(t, again) != fingerprint(t, churnRes) {
+		t.Error("churny scenario not deterministic")
+	}
+}
+
+func TestScheduledChurnValidation(t *testing.T) {
+	mk := func(ev ChurnEvent) error {
+		_, err := NewScenario(
+			WithDuration(scenarioDuration),
+			WithChurn(ScheduledChurn(ev)),
+		)
+		return err
+	}
+	okEv := ChurnEvent{At: time.Second, Node: 0, Down: true}
+	if err := mk(okEv); err != nil {
+		t.Fatalf("valid churn event rejected: %v", err)
+	}
+	sink, err := NewScenario(WithDuration(scenarioDuration))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ev := range map[string]ChurnEvent{
+		"negative time": {At: -time.Second, Node: 0, Down: true},
+		"past end":      {At: scenarioDuration + time.Second, Node: 0, Down: true},
+		"bad node":      {At: time.Second, Node: 99, Down: true},
+		"sink":          {At: time.Second, Node: sink.Sink(), Down: true},
+	} {
+		if err := mk(ev); err == nil {
+			t.Errorf("%s churn event accepted", name)
+		}
+	}
+	if _, err := NewScenario(WithChurn(RandomChurn(0, time.Minute, 1))); err == nil {
+		t.Error("zero churn rate accepted")
+	}
+	if _, err := NewScenario(WithChurn(RandomChurn(1, 0, 1))); err == nil {
+		t.Error("zero churn downtime accepted")
+	}
+}
+
+// Config-level churn compiles and degrades goodput deterministically.
+func TestConfigChurn(t *testing.T) {
+	cfg := shortConfig(ModelDual, 5, 100, 1)
+	cfg.Duration = scenarioDuration
+	calm := mustRun(t, cfg)
+	cfg.ChurnRate = 20
+	cfg.ChurnMeanDowntime = 60 * time.Second
+	churn1 := mustRun(t, cfg)
+	churn2 := mustRun(t, cfg)
+	if fingerprint(t, churn1) != fingerprint(t, churn2) {
+		t.Error("churny config not deterministic")
+	}
+	if churn1.Goodput() >= calm.Goodput() {
+		t.Errorf("churn did not hurt goodput: %.3f vs %.3f",
+			churn1.Goodput(), calm.Goodput())
+	}
+}
+
+func TestScenarioBuildValidation(t *testing.T) {
+	cases := map[string][]Option{
+		"nil topology":      {WithTopology(nil)},
+		"bad model":         {WithModel(Model(9))},
+		"one node":          {WithTopology(ExplicitTopology(topo.Position{}))},
+		"zero duration":     {WithDuration(0)},
+		"dual zero burst":   {WithBurst(0)},
+		"negative grant":    {WithMinGrant(-1)},
+		"negative alpha":    {WithAdaptiveThreshold(-1)},
+		"negative bound":    {WithDelayBound(-time.Second)},
+		"negative linger":   {WithPostBurstLinger(-time.Second)},
+		"zero senders":      {WithSenders(0)},
+		"too many senders":  {WithSenders(36)},
+		"sink out of range": {WithSink(SinkAt(99))},
+		"sender is sink": {WithSink(SinkAt(3)),
+			WithSenderPolicy(ExplicitSenders(3)), WithSenders(0)},
+		"duplicate sender": {WithSenderPolicy(ExplicitSenders(1, 1)), WithSenders(0)},
+		"sender count conflict": {WithSenderPolicy(ExplicitSenders(1, 2)),
+			WithSenders(3)},
+		"zero rate": {WithWorkload(CBRWorkload(0))},
+		"bad per-sender rate": {WithWorkload(Workload{
+			Traffic: TrafficCBR, Rates: []units.BitRate{2000, 0}})},
+		"bad traffic":    {WithWorkload(Workload{Traffic: Traffic(9), Rate: 2000})},
+		"bad loss":       {WithLinks(LinkModel{SensorLoss: 1})},
+		"bad wifi loss":  {WithLinks(LinkModel{WifiLoss: -0.1})},
+		"negative range": {WithWifiRange(-1)},
+	}
+	for name, opts := range cases {
+		if _, err := NewScenario(opts...); err == nil {
+			t.Errorf("%s: NewScenario accepted invalid options", name)
+		}
+	}
+	// The default scenario builds without any option.
+	s, err := NewScenario()
+	if err != nil {
+		t.Fatalf("default scenario: %v", err)
+	}
+	if s.Nodes() != params.GridNodes || len(s.SenderIDs()) != 5 ||
+		s.TopologyKind() != TopoGrid {
+		t.Errorf("default scenario shape wrong: %d nodes, %d senders, %q",
+			s.Nodes(), len(s.SenderIDs()), s.TopologyKind())
+	}
+}
+
+func TestExplicitSendersAndSink(t *testing.T) {
+	s, err := NewScenario(
+		WithModel(ModelSensor),
+		WithSink(SinkAt(0)),
+		WithSenderPolicy(ExplicitSenders(35, 30, 5)), // count implied by the set
+		WithWorkload(CBRWorkload(params.HighRate)),
+		WithDuration(scenarioDuration),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Sink() != 0 {
+		t.Errorf("sink = %d, want 0", s.Sink())
+	}
+	got := s.SenderIDs()
+	if len(got) != 3 || got[0] != 35 || got[1] != 30 || got[2] != 5 {
+		t.Errorf("senders = %v, want [35 30 5]", got)
+	}
+	res, err := RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Goodput() < 0.5 {
+		t.Errorf("goodput = %.3f", res.Goodput())
+	}
+}
+
+func TestFarthestSenders(t *testing.T) {
+	s, err := NewScenario(
+		WithSenderPolicy(FarthestSenders()),
+		WithSenders(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every selected node must be at least as far from the sink as every
+	// unselected node, and the selection must come farthest-first.
+	got := s.SenderIDs()
+	l := s.Layout()
+	sp := l.Position(s.Sink())
+	selected := make(map[int]bool, len(got))
+	minSel := units.Meters(-1)
+	prev := units.Meters(-1)
+	for _, id := range got {
+		d := topo.Distance(l.Position(id), sp)
+		if prev >= 0 && d > prev {
+			t.Errorf("farthest senders %v not in descending distance order", got)
+		}
+		prev = d
+		if minSel < 0 || d < minSel {
+			minSel = d
+		}
+		selected[id] = true
+	}
+	for i := 0; i < l.Len(); i++ {
+		if i == s.Sink() || selected[i] {
+			continue
+		}
+		if d := topo.Distance(l.Position(i), sp); d > minSel {
+			t.Errorf("unselected node %d (d=%v) farther than selected minimum %v",
+				i, d, minSel)
+		}
+	}
+}
+
+// Heterogeneous per-sender rates tile over the sender set and shape the
+// generated volume accordingly.
+func TestHeterogeneousRates(t *testing.T) {
+	uniform, err := NewScenario(
+		WithModel(ModelSensor),
+		WithSenders(4),
+		WithWorkload(CBRWorkload(params.HighRate)),
+		WithDuration(scenarioDuration),
+		WithSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed, err := NewScenario(
+		WithModel(ModelSensor),
+		WithSenders(4),
+		WithWorkload(Workload{
+			Traffic: TrafficCBR,
+			Rates:   []units.BitRate{params.HighRate, params.HighRate / 10},
+		}),
+		WithDuration(scenarioDuration),
+		WithSeed(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := RunScenario(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunScenario(mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two of four senders run at a tenth the rate: generated volume must
+	// land near 55% of the homogeneous case.
+	frac := float64(m.GeneratedBits) / float64(u.GeneratedBits)
+	if frac < 0.45 || frac > 0.65 {
+		t.Errorf("mixed-rate generated fraction = %.3f, want ~0.55", frac)
+	}
+	if m.Goodput() < 0.9 {
+		t.Errorf("mixed-rate goodput = %.3f", m.Goodput())
+	}
+}
+
+// Distance-dependent loss loses more than a lossless channel and keeps
+// the run deterministic.
+func TestDistanceDependentLoss(t *testing.T) {
+	base := []Option{
+		WithModel(ModelSensor),
+		WithSenders(5),
+		WithWorkload(CBRWorkload(params.HighRate)),
+		WithDuration(scenarioDuration),
+		WithSeed(1),
+	}
+	clean, err := NewScenario(base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := NewScenario(append(base[:len(base):len(base)], WithLinks(LinkModel{
+		SensorLossAt: DistanceLoss(0, 0.4, 40),
+	}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanRes, err := RunScenario(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossyRes, err := RunScenario(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossyRes.SensorStats.NoiseLosses == 0 {
+		t.Error("distance loss model lost nothing (grid links are at full range)")
+	}
+	if cleanRes.SensorStats.NoiseLosses != 0 {
+		t.Error("clean channel recorded noise losses")
+	}
+	if lossyRes.Goodput() > cleanRes.Goodput() {
+		t.Errorf("lossy goodput %.3f above clean %.3f",
+			lossyRes.Goodput(), cleanRes.Goodput())
+	}
+	again, err := RunScenario(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprint(t, again) != fingerprint(t, lossyRes) {
+		t.Error("distance-loss run not deterministic")
+	}
+}
+
+func TestRunScenarioMany(t *testing.T) {
+	s, err := NewScenario(
+		WithSenders(5),
+		WithWorkload(CBRWorkload(params.HighRate)),
+		WithDuration(100*time.Second),
+		WithBurst(100),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunScenarioMany(s, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	serial := make([]Result, 3)
+	for r := range serial {
+		res, err := RunScenario(s.withSeed(10 + int64(r)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial[r] = res
+	}
+	for r := range serial {
+		if fingerprint(t, serial[r]) != fingerprint(t, results[r]) {
+			t.Errorf("rep %d: parallel result differs from serial", r)
+		}
+	}
+	if _, err := RunScenarioMany(s, 0, 1); err == nil {
+		t.Error("RunScenarioMany(0) did not error")
+	}
+}

@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bulktx/internal/topo"
+	"bulktx/internal/units"
+)
+
+// Topology is the pluggable node-placement part of a Scenario. A
+// Topology is pure data: Layout materializes the node positions
+// deterministically, with all randomness coming from the topology's own
+// configuration (never from the run seed), so one topology instance
+// describes the same deployment across every repetition of a sweep.
+type Topology interface {
+	// Kind names the topology family ("grid", "uniform", "clustered",
+	// "linear", "explicit") for logs, sweep axes and cache keys.
+	Kind() string
+	// Layout materializes the node positions.
+	Layout() (*topo.Layout, error)
+}
+
+// Topology kind names, as accepted by Config.Topology and sweep specs.
+const (
+	TopoGrid      = "grid"
+	TopoUniform   = "uniform"
+	TopoClustered = "clustered"
+	TopoLinear    = "linear"
+	TopoExplicit  = "explicit"
+)
+
+// TopologyKinds lists the named topology families constructible from a
+// flat Config (the explicit topology carries its own positions and has
+// no flat form).
+func TopologyKinds() []string {
+	return []string{TopoGrid, TopoUniform, TopoClustered, TopoLinear}
+}
+
+// gridTopology is the paper's survey layout: the smallest square grid
+// covering the field.
+type gridTopology struct {
+	nodes int
+	field units.Meters
+}
+
+// GridTopology places nodes on the smallest square grid covering a
+// field x field area — the paper's evaluation deployment
+// (GridTopology(36, 200): a 6x6 grid with 40 m spacing).
+func GridTopology(nodes int, field units.Meters) Topology {
+	return gridTopology{nodes: nodes, field: field}
+}
+
+func (t gridTopology) Kind() string { return TopoGrid }
+func (t gridTopology) Layout() (*topo.Layout, error) {
+	return topo.Grid(t.nodes, t.field)
+}
+
+// uniformTopology is a uniform-random geometric deployment.
+type uniformTopology struct {
+	nodes int
+	field units.Meters
+	seed  int64
+}
+
+// UniformTopology scatters nodes uniformly at random over a
+// field x field area. The seed fixes the placement independently of the
+// run seed, so repetitions share one deployment.
+func UniformTopology(nodes int, field units.Meters, seed int64) Topology {
+	return uniformTopology{nodes: nodes, field: field, seed: seed}
+}
+
+func (t uniformTopology) Kind() string { return TopoUniform }
+func (t uniformTopology) Layout() (*topo.Layout, error) {
+	return topo.Random(t.nodes, t.field, rand.New(rand.NewSource(t.seed)))
+}
+
+// clusteredTopology groups nodes around random hotspots.
+type clusteredTopology struct {
+	nodes    int
+	clusters int
+	field    units.Meters
+	spread   units.Meters
+	seed     int64
+}
+
+// ClusteredTopology places nodes in clusters hotspots over a
+// field x field area with Gaussian spread around each cluster center —
+// the shape of event-driven deployments. The seed fixes the placement
+// independently of the run seed.
+func ClusteredTopology(nodes, clusters int, field, spread units.Meters, seed int64) Topology {
+	return clusteredTopology{
+		nodes: nodes, clusters: clusters,
+		field: field, spread: spread, seed: seed,
+	}
+}
+
+func (t clusteredTopology) Kind() string { return TopoClustered }
+func (t clusteredTopology) Layout() (*topo.Layout, error) {
+	return topo.Clustered(t.nodes, t.clusters, t.field, t.spread,
+		rand.New(rand.NewSource(t.seed)))
+}
+
+// linearTopology is a corridor deployment.
+type linearTopology struct {
+	nodes  int
+	length units.Meters
+}
+
+// LinearTopology places nodes evenly along a straight corridor of the
+// given length (pipelines, tunnels, roadsides; the shape of the paper's
+// Section 2.2 feasibility study).
+func LinearTopology(nodes int, length units.Meters) Topology {
+	return linearTopology{nodes: nodes, length: length}
+}
+
+func (t linearTopology) Kind() string { return TopoLinear }
+func (t linearTopology) Layout() (*topo.Layout, error) {
+	if t.nodes < 2 {
+		return nil, fmt.Errorf("netsim: linear topology needs at least 2 nodes, got %d", t.nodes)
+	}
+	if t.length <= 0 {
+		return nil, fmt.Errorf("netsim: linear topology length %v must be positive", t.length)
+	}
+	return topo.Line(t.nodes, t.length/units.Meters(float64(t.nodes-1)))
+}
+
+// explicitTopology wraps caller-supplied positions.
+type explicitTopology struct {
+	positions []topo.Position
+}
+
+// ExplicitTopology uses the given node positions verbatim (surveyed
+// deployments, imported traces).
+func ExplicitTopology(positions ...topo.Position) Topology {
+	ps := make([]topo.Position, len(positions))
+	copy(ps, positions)
+	return explicitTopology{positions: ps}
+}
+
+func (t explicitTopology) Kind() string { return TopoExplicit }
+func (t explicitTopology) Layout() (*topo.Layout, error) {
+	if len(t.positions) == 0 {
+		return nil, fmt.Errorf("netsim: explicit topology needs at least one position")
+	}
+	return topo.NewLayout(t.positions), nil
+}

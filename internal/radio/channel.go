@@ -24,6 +24,11 @@ type Config struct {
 	// LossProb is an independent corruption probability applied to every
 	// frame reception (channel noise, in addition to collisions).
 	LossProb float64
+	// LossAt, when non-nil, replaces LossProb with a per-link loss
+	// probability computed from the transmitter-receiver distance
+	// (e.g. path-loss-shaped noise). Probabilities are evaluated once
+	// per link at channel construction and clamped to [0, 1].
+	LossAt func(d units.Meters) float64
 	// WakeupLatency is the Off -> usable transition time applied by
 	// PowerOn. Zero means instant.
 	WakeupLatency time.Duration
@@ -83,8 +88,11 @@ type Channel struct {
 	// neighbors[i] lists the node IDs within range of node i (excluding
 	// i itself), sorted ascending for deterministic delivery order.
 	neighbors [][]NodeID
-	stats     Stats
-	rng       *rand.Rand
+	// pairLoss is the dense per-link loss matrix (src*Len+dst), built
+	// only when cfg.LossAt is set; nil channels use cfg.LossProb.
+	pairLoss []float64
+	stats    Stats
+	rng      *rand.Rand
 }
 
 // NewChannel builds a channel over the given layout and precomputes its
@@ -99,14 +107,50 @@ func NewChannel(sched *sim.Scheduler, cfg Config, layout *topo.Layout) (*Channel
 	if cfg.Range == 0 {
 		cfg.Range = cfg.Profile.Range
 	}
-	return &Channel{
+	ch := &Channel{
 		sched:     sched,
 		cfg:       cfg,
 		layout:    layout,
 		nodes:     make([]*Transceiver, layout.Len()),
 		neighbors: buildNeighborIndex(layout, cfg.Range),
 		rng:       sched.Rand(),
-	}, nil
+	}
+	if cfg.LossAt != nil {
+		ch.pairLoss = buildPairLoss(layout, cfg.LossAt)
+	}
+	return ch, nil
+}
+
+// buildPairLoss evaluates the distance-dependent loss model once per
+// ordered node pair, clamped to [0, 1].
+func buildPairLoss(layout *topo.Layout, lossAt func(units.Meters) float64) []float64 {
+	n := layout.Len()
+	m := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			p := lossAt(topo.Distance(layout.Position(i), layout.Position(j)))
+			if p < 0 {
+				p = 0
+			} else if p > 1 {
+				p = 1
+			}
+			m[i*n+j] = p
+		}
+	}
+	return m
+}
+
+// lossProb returns the noise-loss probability of the src->dst link:
+// the per-link matrix when a distance model is configured, the flat
+// LossProb otherwise.
+func (c *Channel) lossProb(src, dst NodeID) float64 {
+	if c.pairLoss == nil {
+		return c.cfg.LossProb
+	}
+	return c.pairLoss[int(src)*len(c.nodes)+int(dst)]
 }
 
 // buildNeighborIndex materializes the layout's sorted adjacency lists

@@ -60,6 +60,8 @@ type Transceiver struct {
 
 	on           bool
 	waking       bool
+	failed       bool
+	resumeWake   bool
 	transmitting bool
 	arrivals     []*arrival
 	arrivalPool  []*arrival
@@ -125,11 +127,53 @@ func (t *Transceiver) SetOnTxDone(fn func(Frame)) { t.onTxDone = fn }
 // SetOnWake registers the callback fired when PowerOn completes.
 func (t *Transceiver) SetOnWake(fn func()) { t.onWake = fn }
 
-// On reports whether the radio is powered and usable (not waking up).
-func (t *Transceiver) On() bool { return t.on }
+// On reports whether the radio is powered and usable (not waking up or
+// crashed).
+func (t *Transceiver) On() bool { return t.on && !t.failed }
 
 // Waking reports whether the radio is mid wake-up transition.
 func (t *Transceiver) Waking() bool { return t.waking }
+
+// Failed reports whether the node is currently crashed (see SetFailed).
+func (t *Transceiver) Failed() bool { return t.failed }
+
+// SetFailed crashes (down=true) or recovers (down=false) the node — the
+// churn model's hook. While failed the transceiver neither hears nor
+// transmits, On reports false, PowerOn is a no-op and the meter sits in
+// Off. Failing aborts in-progress receptions; an in-flight transmission
+// is not recalled (its energy is already on the air at the receivers)
+// but the transmitter stops charging for it. Recovery restores the
+// pre-failure power state: always-on radios resume listening, radios
+// that were off stay off until the protocol powers them up again.
+func (t *Transceiver) SetFailed(down bool) {
+	if t.failed == down {
+		return
+	}
+	t.failed = down
+	if down {
+		// A wake-up in flight dies with the crash but is remembered:
+		// recovery reboots the radio and restarts the wake, so protocol
+		// logic parked on the onWake callback (e.g. a BCP burst waiting
+		// for the 802.11 radio) is eventually released instead of
+		// deadlocking for the rest of the run.
+		t.resumeWake = t.resumeWake || t.waking
+		t.wakeTimer.Stop()
+		t.waking = false
+		for _, a := range t.arrivals {
+			a.aborted = true
+		}
+		t.arrivals = t.arrivals[:0]
+		t.noteIdle()
+		t.updateMeterState()
+		return
+	}
+	t.noteIdle()
+	t.updateMeterState()
+	if t.resumeWake {
+		t.resumeWake = false
+		t.PowerOn()
+	}
+}
 
 // Busy reports carrier sense: a transmission in progress or energy on the
 // channel at this receiver.
@@ -158,6 +202,12 @@ func (t *Transceiver) noteIdle() {
 // energy and becoming usable after the channel's wake-up latency. It is a
 // no-op when already on or waking.
 func (t *Transceiver) PowerOn() {
+	if t.failed {
+		// The crashed node cannot wake now, but the request survives the
+		// outage: the recovery reboot starts the wake-up.
+		t.resumeWake = true
+		return
+	}
 	if t.on || t.waking {
 		return
 	}
@@ -190,6 +240,7 @@ func (t *Transceiver) PowerOff() error {
 	wasActive := t.on || t.waking
 	t.wakeTimer.Stop()
 	t.waking = false
+	t.resumeWake = false // an explicit shutdown cancels any pending reboot wake
 	t.on = false
 	if wasActive {
 		t.observe(EventPowerOff, 0)
@@ -207,7 +258,7 @@ func (t *Transceiver) PowerOff() error {
 // sensing; transmitting while receiving is allowed and corrupts the
 // in-progress receptions (half-duplex radio).
 func (t *Transceiver) Transmit(f Frame) error {
-	if !t.on {
+	if !t.on || t.failed {
 		return fmt.Errorf("%w: node %d", ErrRadioOff, t.id)
 	}
 	if t.transmitting {
@@ -241,8 +292,8 @@ func (t *Transceiver) finishTx() {
 // arrive begins reception of a frame lasting airtime. Called by the
 // channel for every in-range transceiver.
 func (t *Transceiver) arrive(f Frame, airtime sim.Time) {
-	if !t.on {
-		return // off or waking radios do not hear anything
+	if !t.on || t.failed {
+		return // off, waking or crashed radios do not hear anything
 	}
 	a := t.newArrival()
 	a.frame = f
@@ -319,7 +370,7 @@ func (t *Transceiver) finishArrival(a *arrival) {
 		t.ch.stats.Collisions++
 		return
 	}
-	if t.ch.cfg.LossProb > 0 && t.ch.rng.Float64() < t.ch.cfg.LossProb {
+	if p := t.ch.lossProb(frame.Src, t.id); p > 0 && t.ch.rng.Float64() < p {
 		t.ch.stats.NoiseLosses++
 		return
 	}
@@ -336,6 +387,8 @@ func (t *Transceiver) finishArrival(a *arrival) {
 // updateMeterState recomputes the meter state from the radio's activity.
 func (t *Transceiver) updateMeterState() {
 	switch {
+	case t.failed:
+		t.meter.Transition(energy.Off)
 	case !t.on && t.waking:
 		t.meter.Transition(energy.WakingUp)
 	case !t.on:

@@ -16,6 +16,12 @@ import (
 // simulator's behavior changes (new charging rule, protocol fix, ...):
 // old entries become unreachable instead of silently stale. Deleting
 // the cache directory is always safe — entries are pure memoization.
+//
+// Known exception kept at schema 1: the Scenario redesign changed
+// topo.Grid's degenerate n<=3 layouts (corner frame -> mid-field row).
+// Entries for such configs — which cannot host a meaningful sweep
+// (at most n-1 senders) and were never produced by the shipped specs —
+// would be stale; delete the cache directory if you ever swept them.
 const cacheSchema = 1
 
 // Key derives the content key of one run: a SHA-256 over the cache

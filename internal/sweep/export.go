@@ -14,7 +14,13 @@ type exportCell struct {
 	Senders int    `json:"senders"`
 	Burst   int    `json:"burst_packets"`
 	Traffic string `json:"traffic"`
-	Runs    int    `json:"runs"`
+	// Topology and ChurnRate are the scenario axes. In JSON they are
+	// omitted for default-scenario cells (pre-redesign exports keep
+	// their shape); in CSV they append as trailing columns so legacy
+	// positional consumers are unaffected.
+	Topology  string  `json:"topology,omitempty"`
+	ChurnRate float64 `json:"churn_rate,omitempty"`
+	Runs      int     `json:"runs"`
 
 	Goodput       float64 `json:"goodput"`
 	GoodputCI     float64 `json:"goodput_ci95"`
@@ -31,6 +37,8 @@ func toExportCell(c CellSummary) exportCell {
 		Senders:       c.Point.Senders,
 		Burst:         c.Point.Burst,
 		Traffic:       c.Point.Traffic.String(),
+		Topology:      c.Point.Topology,
+		ChurnRate:     c.Point.Churn,
 		Runs:          c.Runs,
 		Goodput:       c.Goodput.Mean,
 		GoodputCI:     c.Goodput.CI95,
@@ -65,6 +73,9 @@ var csvHeader = []string{
 	"norm_energy_j_per_kbit", "norm_energy_ci95",
 	"ideal_energy_j_per_kbit", "ideal_energy_ci95",
 	"mean_delay_s",
+	// The scenario axes append after every legacy column so positional
+	// consumers of pre-redesign CSVs keep reading the same fields.
+	"topology", "churn_rate",
 }
 
 // WriteCSV exports the outcome's per-cell summaries as CSV, one row
@@ -84,6 +95,7 @@ func WriteCSV(w io.Writer, o *Outcome) error {
 			f(e.NormEnergy), f(e.NormEnergyCI),
 			f(e.IdealEnergy), f(e.IdealEnergyCI),
 			f(e.MeanDelayS),
+			e.Topology, f(e.ChurnRate),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("sweep: csv export: %w", err)

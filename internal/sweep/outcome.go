@@ -117,14 +117,17 @@ func (o *Outcome) Table(title string, metric Metric) metrics.Table {
 		YLabel: metric.String(),
 	}
 	type curve struct {
-		Model   netsim.Model
-		Burst   int
-		Traffic netsim.Traffic
+		Model    netsim.Model
+		Burst    int
+		Traffic  netsim.Traffic
+		Topology string
+		Churn    float64
 	}
 	var order []curve
 	series := make(map[curve]*metrics.Series)
 	for _, c := range o.Cells() {
-		k := curve{c.Point.Model, c.Point.Burst, c.Point.Traffic}
+		k := curve{c.Point.Model, c.Point.Burst, c.Point.Traffic,
+			c.Point.Topology, c.Point.Churn}
 		s, ok := series[k]
 		if !ok {
 			label := k.Model.String()
@@ -133,6 +136,12 @@ func (o *Outcome) Table(title string, metric Metric) metrics.Table {
 			}
 			if k.Traffic != netsim.TrafficCBR {
 				label += "/" + k.Traffic.String()
+			}
+			if k.Topology != "" {
+				label += "/" + k.Topology
+			}
+			if k.Churn > 0 {
+				label += fmt.Sprintf("/churn%g", k.Churn)
 			}
 			s = &metrics.Series{Label: label}
 			series[k] = s

@@ -28,6 +28,21 @@ type SpecDoc struct {
 	// Traffics are swept arrival processes: "cbr", "poisson", "onoff".
 	Traffics []string `json:"traffics,omitempty"`
 
+	// Topologies are swept layout families: "grid", "uniform",
+	// "clustered", "linear" (empty = the template's grid).
+	Topologies []string `json:"topologies,omitempty"`
+	// TopologySeed fixes random-topology placement independently of the
+	// run seed (0 selects a fixed default placement).
+	TopologySeed int64 `json:"topology_seed,omitempty"`
+	// Clusters is the hotspot count of the clustered topology.
+	Clusters int `json:"clusters,omitempty"`
+
+	// ChurnRates are swept failure rates in expected failures per
+	// node-hour (empty = no churn).
+	ChurnRates []float64 `json:"churn_rates,omitempty"`
+	// ChurnMeanDownS is the mean outage length in seconds under churn.
+	ChurnMeanDownS float64 `json:"churn_mean_down_s,omitempty"`
+
 	// Runs and Seed control the seeded repetitions per point.
 	Runs int   `json:"runs,omitempty"`
 	Seed int64 `json:"seed,omitempty"`
@@ -110,13 +125,31 @@ func (d SpecDoc) Spec() (Spec, error) {
 	base.DelayBound = time.Duration(d.DelayBoundS * float64(time.Second))
 	base.PostBurstLinger = time.Duration(d.PostBurstLingerMs * float64(time.Millisecond))
 	base.UseShortcutLearner = d.ShortcutLearner
+	base.TopologySeed = d.TopologySeed
+	base.Clusters = d.Clusters
+	base.ChurnMeanDowntime = time.Duration(d.ChurnMeanDownS * float64(time.Second))
 
 	spec := Spec{
-		Base:     base,
-		Senders:  senders,
-		Bursts:   bursts,
-		Runs:     d.Runs,
-		BaseSeed: d.Seed,
+		Base:       base,
+		Senders:    senders,
+		Bursts:     bursts,
+		Topologies: d.Topologies,
+		ChurnRates: d.ChurnRates,
+		Runs:       d.Runs,
+		BaseSeed:   d.Seed,
+	}
+	for _, name := range d.Topologies {
+		if name == "" || name == netsim.TopoGrid {
+			continue
+		}
+		known := false
+		for _, k := range netsim.TopologyKinds() {
+			known = known || name == k
+		}
+		if !known {
+			return Spec{}, fmt.Errorf("sweep: unknown topology %q (want one of %v)",
+				name, netsim.TopologyKinds())
+		}
 	}
 	for _, name := range d.Models {
 		m, err := ParseModel(name)

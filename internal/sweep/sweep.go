@@ -23,17 +23,35 @@ import (
 // Point identifies one cell of a sweep grid: the axis coordinates
 // shared by all of the cell's seeded repetitions. Burst is 0 for
 // non-dual models (the threshold axis collapses: it has no effect on
-// the baseline models).
+// the baseline models). Topology and Churn are the scenario axes;
+// their zero values ("" and 0) are the default grid-without-churn
+// scenario, so legacy points compare (and cache) exactly as before.
 type Point struct {
 	Model   netsim.Model
 	Senders int
 	Burst   int
 	Traffic netsim.Traffic
+
+	// Topology is the layout family ("" = the default grid; see
+	// netsim.TopologyKinds).
+	Topology string
+	// Churn is the failure rate in expected failures per node-hour
+	// (0 = no churn).
+	Churn float64
 }
 
-// String renders the point compactly ("dual-radio/s15/b500/cbr").
+// String renders the point compactly ("dual-radio/s15/b500/cbr",
+// with "/linear" and "/churn3" suffixes when the scenario axes are
+// swept).
 func (p Point) String() string {
-	return fmt.Sprintf("%s/s%d/b%d/%s", p.Model, p.Senders, p.Burst, p.Traffic)
+	s := fmt.Sprintf("%s/s%d/b%d/%s", p.Model, p.Senders, p.Burst, p.Traffic)
+	if p.Topology != "" {
+		s += "/" + p.Topology
+	}
+	if p.Churn > 0 {
+		s += fmt.Sprintf("/churn%g", p.Churn)
+	}
+	return s
 }
 
 // Job is one simulation run of a sweep: a grid point, the repetition
@@ -58,6 +76,13 @@ type Spec struct {
 	Bursts   []int
 	Traffics []netsim.Traffic
 
+	// Topologies and ChurnRates are the scenario axes: layout families
+	// (netsim.TopologyKinds; "" selects the base config's topology) and
+	// failure rates in expected failures per node-hour. Left nil they
+	// default to the base config's own values, like every other axis.
+	Topologies []string
+	ChurnRates []float64
+
 	// Runs is the number of seeded repetitions per grid point
 	// (default 1).
 	Runs int
@@ -69,7 +94,7 @@ type Spec struct {
 }
 
 // axes resolves the axis slices against the base template.
-func (s Spec) axes() (models []netsim.Model, senders, bursts []int, traffics []netsim.Traffic, runs int) {
+func (s Spec) axes() (models []netsim.Model, senders, bursts []int, traffics []netsim.Traffic, topologies []string, churns []float64, runs int) {
 	models = s.Models
 	if len(models) == 0 {
 		models = []netsim.Model{s.Base.Model}
@@ -86,52 +111,78 @@ func (s Spec) axes() (models []netsim.Model, senders, bursts []int, traffics []n
 	if len(traffics) == 0 {
 		traffics = []netsim.Traffic{s.Base.Traffic}
 	}
+	topologies = s.Topologies
+	if len(topologies) == 0 {
+		topologies = []string{s.Base.Topology}
+	}
+	churns = s.ChurnRates
+	if len(churns) == 0 {
+		churns = []float64{s.Base.ChurnRate}
+	}
 	runs = s.Runs
 	if runs == 0 {
 		runs = 1
 	}
-	return models, senders, bursts, traffics, runs
+	return models, senders, bursts, traffics, topologies, churns, runs
 }
 
 // Jobs compiles the spec into its flat job list, ordered
-// model-major, then senders, bursts, traffic, repetition. For non-dual
-// models the burst axis collapses to a single job per (senders,
-// traffic, rep) with BurstPackets pinned to 1 (validated but unused by
-// those models), so baselines are not redundantly re-simulated per
-// burst size. Every job's configuration is validated.
+// topology-major, then churn, model, senders, bursts, traffic,
+// repetition (so legacy specs — one topology, no churn — keep their
+// pre-redesign job order). For non-dual models the burst axis collapses
+// to a single job per (senders, traffic, rep) with BurstPackets pinned
+// to 1 (validated but unused by those models), so baselines are not
+// redundantly re-simulated per burst size. Every job's configuration is
+// validated.
 func (s Spec) Jobs() ([]Job, error) {
 	if s.Runs < 0 {
 		return nil, fmt.Errorf("sweep: negative runs %d", s.Runs)
 	}
-	models, senders, bursts, traffics, runs := s.axes()
+	models, senders, bursts, traffics, topologies, churns, runs := s.axes()
 	var jobs []Job
-	for _, m := range models {
-		mBursts := bursts
-		if m != netsim.ModelDual {
-			mBursts = []int{0}
+	for _, topol := range topologies {
+		if topol == "" {
+			// An empty axis value selects the base config's topology, as
+			// the Topologies doc promises.
+			topol = s.Base.Topology
 		}
-		for _, n := range senders {
-			for _, b := range mBursts {
-				for _, tr := range traffics {
-					for r := 0; r < runs; r++ {
-						cfg := s.Base
-						cfg.Model = m
-						cfg.Senders = n
-						cfg.BurstPackets = b
-						if m != netsim.ModelDual {
-							cfg.BurstPackets = 1
+		if topol == netsim.TopoGrid {
+			// An explicit "grid" axis value is the default scenario:
+			// normalize it so its cells (and cache keys) are identical to
+			// legacy sweeps that never named a topology.
+			topol = ""
+		}
+		for _, churn := range churns {
+			for _, m := range models {
+				mBursts := bursts
+				if m != netsim.ModelDual {
+					mBursts = []int{0}
+				}
+				for _, n := range senders {
+					for _, b := range mBursts {
+						for _, tr := range traffics {
+							for r := 0; r < runs; r++ {
+								cfg := s.Base
+								cfg.Topology = topol
+								cfg.ChurnRate = churn
+								cfg.Model = m
+								cfg.Senders = n
+								cfg.BurstPackets = b
+								if m != netsim.ModelDual {
+									cfg.BurstPackets = 1
+								}
+								cfg.Traffic = tr
+								cfg.Seed = s.BaseSeed + int64(r)
+								pt := Point{
+									Model: m, Senders: n, Burst: b, Traffic: tr,
+									Topology: topol, Churn: churn,
+								}
+								if err := cfg.Validate(); err != nil {
+									return nil, fmt.Errorf("sweep: job %v rep %d: %w", pt, r, err)
+								}
+								jobs = append(jobs, Job{Point: pt, Rep: r, Config: cfg})
+							}
 						}
-						cfg.Traffic = tr
-						cfg.Seed = s.BaseSeed + int64(r)
-						if err := cfg.Validate(); err != nil {
-							return nil, fmt.Errorf("sweep: job %v rep %d: %w",
-								Point{m, n, b, tr}, r, err)
-						}
-						jobs = append(jobs, Job{
-							Point:  Point{Model: m, Senders: n, Burst: b, Traffic: tr},
-							Rep:    r,
-							Config: cfg,
-						})
 					}
 				}
 			}
@@ -143,7 +194,7 @@ func (s Spec) Jobs() ([]Job, error) {
 // Size is the number of jobs the spec compiles to, without validating
 // them.
 func (s Spec) Size() int {
-	models, senders, bursts, traffics, runs := s.axes()
+	models, senders, bursts, traffics, topologies, churns, runs := s.axes()
 	n := 0
 	for _, m := range models {
 		per := len(senders) * len(traffics) * runs
@@ -152,5 +203,5 @@ func (s Spec) Size() int {
 		}
 		n += per
 	}
-	return n
+	return n * len(topologies) * len(churns)
 }

@@ -46,25 +46,42 @@ func NewLayout(positions []Position) *Layout {
 // area, row-major from the origin corner. The paper's evaluation uses
 // Grid(36, 200) — a 6x6 grid with 40 m spacing, matching the sensor radio
 // range so each node reaches its grid neighbours.
+//
+// Degenerate sizes are handled explicitly instead of falling through the
+// square-grid arithmetic: a single node sits at the field center, and
+// n = 2 or 3 (where ceil(sqrt(n)) = 2 would scatter the nodes over a
+// corner of a 2x2 frame with full-field spacing) become a mid-field row
+// with spacing field/(n-1). Every generated position lies within
+// [0, field] on both axes for every n.
 func Grid(n int, field units.Meters) (*Layout, error) {
 	if n <= 0 {
-		return nil, fmt.Errorf("topo: grid size %d must be positive", n)
+		return nil, fmt.Errorf("topo: grid size %d must be positive (want at least one node)", n)
 	}
 	if field <= 0 {
 		return nil, fmt.Errorf("topo: field size %v must be positive", field)
 	}
-	side := int(math.Ceil(math.Sqrt(float64(n))))
-	spacing := float64(field) / float64(side-1)
-	if side == 1 {
-		spacing = 0
-	}
 	ps := make([]Position, 0, n)
-	for i := 0; i < n; i++ {
-		row, col := i/side, i%side
-		ps = append(ps, Position{
-			X: units.Meters(float64(col) * spacing),
-			Y: units.Meters(float64(row) * spacing),
-		})
+	switch {
+	case n == 1:
+		ps = append(ps, Position{X: field / 2, Y: field / 2})
+	case n <= 3:
+		spacing := float64(field) / float64(n-1)
+		for i := 0; i < n; i++ {
+			ps = append(ps, Position{
+				X: units.Meters(float64(i) * spacing),
+				Y: field / 2,
+			})
+		}
+	default:
+		side := int(math.Ceil(math.Sqrt(float64(n))))
+		spacing := float64(field) / float64(side-1)
+		for i := 0; i < n; i++ {
+			row, col := i/side, i%side
+			ps = append(ps, Position{
+				X: units.Meters(float64(col) * spacing),
+				Y: units.Meters(float64(row) * spacing),
+			})
+		}
 	}
 	return &Layout{positions: ps}, nil
 }
@@ -100,6 +117,46 @@ func Random(n int, field units.Meters, rng *rand.Rand) (*Layout, error) {
 		ps = append(ps, Position{
 			X: units.Meters(rng.Float64() * float64(field)),
 			Y: units.Meters(rng.Float64() * float64(field)),
+		})
+	}
+	return &Layout{positions: ps}, nil
+}
+
+// Clustered places n nodes in k hotspots over a field x field area:
+// cluster centers fall uniformly at random, and members scatter around
+// their center (round-robin assignment, node i to cluster i mod k) with
+// Gaussian spread, clamped to the field. It models event-driven
+// deployments where sensing density follows phenomena rather than a
+// survey grid.
+func Clustered(n, k int, field, spread units.Meters, rng *rand.Rand) (*Layout, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: clustered size %d must be positive", n)
+	}
+	if k <= 0 || k > n {
+		return nil, fmt.Errorf("topo: cluster count %d outside [1, %d]", k, n)
+	}
+	if field <= 0 {
+		return nil, fmt.Errorf("topo: field size %v must be positive", field)
+	}
+	if spread < 0 {
+		return nil, fmt.Errorf("topo: cluster spread %v must be non-negative", spread)
+	}
+	centers := make([]Position, k)
+	for i := range centers {
+		centers[i] = Position{
+			X: units.Meters(rng.Float64() * float64(field)),
+			Y: units.Meters(rng.Float64() * float64(field)),
+		}
+	}
+	clamp := func(v float64) units.Meters {
+		return units.Meters(math.Min(math.Max(v, 0), float64(field)))
+	}
+	ps := make([]Position, 0, n)
+	for i := 0; i < n; i++ {
+		c := centers[i%k]
+		ps = append(ps, Position{
+			X: clamp(float64(c.X) + rng.NormFloat64()*float64(spread)),
+			Y: clamp(float64(c.Y) + rng.NormFloat64()*float64(spread)),
 		})
 	}
 	return &Layout{positions: ps}, nil

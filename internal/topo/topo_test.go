@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -84,6 +85,94 @@ func TestGridSingleNode(t *testing.T) {
 	}
 	if !l.Connected(0, 1) {
 		t.Error("single node not connected to itself")
+	}
+	if p := l.Position(0); p.X != 100 || p.Y != 100 {
+		t.Errorf("single node at %v, want field center (100,100)", p)
+	}
+}
+
+func TestGridDegenerateSizes(t *testing.T) {
+	// n = 2 and 3 must not fall through the square-grid arithmetic (which
+	// would scatter them over a corner of a 2x2 frame with full-field
+	// spacing): they form a mid-field row with spacing field/(n-1).
+	for _, n := range []int{2, 3} {
+		l, err := Grid(n, 200)
+		if err != nil {
+			t.Fatalf("Grid(%d): %v", n, err)
+		}
+		spacing := 200.0 / float64(n-1)
+		for i := 0; i < n; i++ {
+			p := l.Position(i)
+			if p.Y != 100 {
+				t.Errorf("Grid(%d) node %d at y=%v, want mid-field row y=100", n, i, p.Y)
+			}
+			if want := float64(i) * spacing; float64(p.X) != want {
+				t.Errorf("Grid(%d) node %d at x=%v, want %v", n, i, p.X, want)
+			}
+		}
+		if !l.Connected(0, units.Meters(spacing)) {
+			t.Errorf("Grid(%d) not connected at its own spacing", n)
+		}
+	}
+}
+
+// Property: every generator keeps every node within [0, field] on both
+// axes, for arbitrary sizes.
+func TestLayoutsStayInFieldProperty(t *testing.T) {
+	const field = units.Meters(200)
+	inField := func(name string, l *Layout) {
+		t.Helper()
+		for i := 0; i < l.Len(); i++ {
+			p := l.Position(i)
+			if p.X < 0 || p.X > field || p.Y < 0 || p.Y > field {
+				t.Errorf("%s node %d at %v outside [0, %v]", name, i, p, field)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for n := 1; n <= 50; n++ {
+		g, err := Grid(n, field)
+		if err != nil {
+			t.Fatalf("Grid(%d): %v", n, err)
+		}
+		inField(fmt.Sprintf("Grid(%d)", n), g)
+		r, err := Random(n, field, rng)
+		if err != nil {
+			t.Fatalf("Random(%d): %v", n, err)
+		}
+		inField(fmt.Sprintf("Random(%d)", n), r)
+		k := n/4 + 1
+		c, err := Clustered(n, k, field, 30, rng)
+		if err != nil {
+			t.Fatalf("Clustered(%d,%d): %v", n, k, err)
+		}
+		inField(fmt.Sprintf("Clustered(%d,%d)", n, k), c)
+	}
+}
+
+func TestClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l, err := Clustered(40, 4, 200, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 40 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	for _, tc := range []struct {
+		n, k   int
+		field  units.Meters
+		spread units.Meters
+	}{
+		{0, 1, 200, 10},
+		{10, 0, 200, 10},
+		{10, 11, 200, 10},
+		{10, 2, 0, 10},
+		{10, 2, 200, -1},
+	} {
+		if _, err := Clustered(tc.n, tc.k, tc.field, tc.spread, rng); err == nil {
+			t.Errorf("Clustered(%d,%d,%v,%v) did not error", tc.n, tc.k, tc.field, tc.spread)
+		}
 	}
 }
 
