@@ -11,6 +11,7 @@ import (
 	"bulktx/internal/netsim"
 	"bulktx/internal/sweep"
 	"bulktx/internal/topo"
+	"bulktx/internal/trace"
 	"bulktx/internal/units"
 )
 
@@ -101,6 +102,27 @@ type (
 	// Position is a node location on the deployment plane (for
 	// ExplicitTopology).
 	Position = topo.Position
+
+	// TraceOptions selects what a traced run records (per-node energy
+	// breakdowns always; packet provenance, state transitions and
+	// periodic samples on demand).
+	TraceOptions = trace.Options
+
+	// TraceRecording is the event/sample stream of one traced run
+	// (SimResult.Trace).
+	TraceRecording = trace.Recording
+
+	// TraceEvent is one trace record: a packet-provenance or radio
+	// state-transition event.
+	TraceEvent = trace.Event
+
+	// NodeEnergy is one node's per-radio per-state energy breakdown
+	// (SimResult.PerNode).
+	NodeEnergy = metrics.NodeEnergy
+
+	// TracedRun pairs an export label with a traced run's result for
+	// the trace exporters.
+	TracedRun = sweep.TracedRun
 
 	// Energy is an amount of energy in joules.
 	Energy = units.Energy
@@ -205,6 +227,22 @@ var (
 	WithMinGrant          = netsim.WithMinGrant
 	WithAdaptiveThreshold = netsim.WithAdaptiveThreshold
 	WithDelayBound        = netsim.WithDelayBound
+	// WithTrace enables per-run observability (see TraceOptions);
+	// untraced scenarios pay nothing.
+	WithTrace = netsim.WithTrace
+
+	// Trace exporters: JSONL and CSV serializations of traced runs,
+	// plus the shared write-to-files helper behind the CLI flags.
+	WriteTraceJSONL    = sweep.WriteTraceJSONL
+	WriteNodeEnergyCSV = sweep.WriteNodeEnergyCSV
+	WriteTraceEvents   = sweep.WriteTraceEventsCSV
+	ExportTraceFiles   = sweep.ExportTraceFiles
+	TraceOptionsFor    = sweep.TraceOptionsFor
+
+	// EnergyBreakdownTable renders a per-node breakdown as a
+	// fixed-width table; TotalPerNode sums one back to a run total.
+	EnergyBreakdownTable = metrics.EnergyBreakdownTable
+	TotalPerNode         = metrics.TotalPerNode
 )
 
 // Table1 returns the paper's Table 1 radio profiles.

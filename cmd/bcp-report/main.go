@@ -1,0 +1,105 @@
+// Command bcp-report renders the paper-reproduction report: a markdown
+// document regenerating the paper's tables and figures from the
+// experiment registry, plus traced per-node energy breakdowns for each
+// evaluation model. The output is byte-stable for a fixed scale and
+// seed, so reports are diffable across commits.
+//
+// Usage:
+//
+//	bcp-report                                  # all experiments, quick scale, stdout
+//	bcp-report -o report.md -scale full
+//	bcp-report -run table1,fig5,fig6 -workers 4
+//	bcp-report -trace-jsonl trace.jsonl -trace-energy-csv energy.csv
+//
+// Simulated figures run on the shared sweep engine; -workers bounds
+// its concurrency and -cache-dir persists simulated cells across
+// invocations. The -trace-* flags additionally export the traced
+// breakdown runs through the sweep trace exporters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bulktx"
+	"bulktx/internal/experiments"
+	"bulktx/internal/report"
+	"bulktx/internal/sweep"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bcp-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		names     = flag.String("run", "all", "comma-separated experiment names (or 'all')")
+		scale     = flag.String("scale", "quick", "simulation scale: quick|full")
+		out       = flag.String("o", "-", "output path ('-' = stdout)")
+		workers   = flag.Int("workers", 0, "sweep worker pool size (0 = all cores)")
+		cacheDir  = flag.String("cache-dir", "", "on-disk sweep result cache (empty = in-memory only)")
+		seed      = flag.Int64("breakdown-seed", 1, "seed of the traced breakdown runs")
+		duration  = flag.Duration("breakdown-duration", 0, "simulated length of the breakdown runs (0 = 300s, negative = skip)")
+		jsonlPath = flag.String("trace-jsonl", "", "also export the traced breakdown runs as JSONL")
+		energyCSV = flag.String("trace-energy-csv", "", "also export per-node energy breakdowns as CSV")
+		eventsCSV = flag.String("trace-events-csv", "", "also export trace events as CSV")
+	)
+	flag.Parse()
+
+	var cache *bulktx.SweepCache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = bulktx.NewSweepDiskCache(*cacheDir); err != nil {
+			return err
+		}
+	}
+	bulktx.ConfigureExperiments(*workers, cache)
+
+	opts := report.Options{
+		ScaleName:         *scale,
+		BreakdownSeed:     *seed,
+		BreakdownDuration: *duration,
+	}
+	switch *scale {
+	case "quick":
+		opts.Scale = experiments.QuickScale()
+	case "full":
+		opts.Scale = experiments.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+	}
+	if *names != "all" && *names != "" {
+		opts.Experiments = strings.Split(*names, ",")
+	}
+	// Event and sample streams are only worth recording when a trace
+	// export will carry them out. The sampling interval follows the
+	// breakdown runs' own duration (~100 points per run), not the
+	// figure sweeps' scale.
+	if *jsonlPath != "" || *eventsCSV != "" {
+		breakdown := *duration
+		if breakdown == 0 {
+			breakdown = report.DefaultBreakdownDuration
+		}
+		opts.TraceOptions = sweep.TraceOptionsFor(*jsonlPath, *eventsCSV, breakdown/100)
+	}
+
+	rep, err := report.Build(opts)
+	if err != nil {
+		return err
+	}
+
+	if *out == "-" {
+		if _, err := os.Stdout.Write(rep.Markdown); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, rep.Markdown, 0o644); err != nil {
+		return err
+	}
+
+	return sweep.ExportTraceFiles(rep.Breakdowns, *jsonlPath, *eventsCSV, *energyCSV)
+}

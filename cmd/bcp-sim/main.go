@@ -57,6 +57,18 @@ type options struct {
 	clusters  int
 	churn     float64
 	churnDown time.Duration
+
+	trace          bool
+	sample         time.Duration
+	traceJSONL     string
+	traceEventsCSV string
+	traceEnergyCSV string
+}
+
+// wantTrace reports whether any flag requests a traced run.
+func (o options) wantTrace() bool {
+	return o.trace || o.sample > 0 ||
+		o.traceJSONL != "" || o.traceEventsCSV != "" || o.traceEnergyCSV != ""
 }
 
 func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
@@ -81,6 +93,11 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.IntVar(&o.clusters, "clusters", 0, "hotspot count for -topology clustered (0: default 4)")
 	fs.Float64Var(&o.churn, "churn", 0, "node churn rate in failures per node-hour (0: off)")
 	fs.DurationVar(&o.churnDown, "churn-down", 0, "mean outage length under churn (0: default 60s)")
+	fs.BoolVar(&o.trace, "trace", false, "run one traced repetition at the base seed and print the per-node energy breakdown")
+	fs.DurationVar(&o.sample, "trace-sample", 0, "also record periodic energy samples at this simulated interval (implies -trace)")
+	fs.StringVar(&o.traceJSONL, "trace-jsonl", "", "export the traced run as JSON lines (implies -trace)")
+	fs.StringVar(&o.traceEventsCSV, "trace-events-csv", "", "export the traced run's events as CSV (implies -trace)")
+	fs.StringVar(&o.traceEnergyCSV, "trace-energy-csv", "", "export the traced run's per-node energy breakdown as CSV (implies -trace)")
 	if err := fs.Parse(args); err != nil {
 		return options{}, err
 	}
@@ -192,5 +209,39 @@ func run(args []string) error {
 			a.Handshakes, a.BurstsSent, a.FramesSent, a.FramesLost,
 			a.GrantsDenied, a.GrantsReduced, a.ReceiverTimeouts)
 	}
+	if o.wantTrace() {
+		return runTraced(o, cfg)
+	}
 	return nil
+}
+
+// runTraced executes one extra repetition at the base seed with the
+// trace probe attached, prints the per-node breakdown and writes the
+// requested exports. The summary runs above stay untraced, so their
+// results remain comparable with (and cache-compatible with) every
+// other invocation.
+func runTraced(o options, cfg bulktx.SimConfig) error {
+	topts := bulktx.TraceOptionsFor(o.traceJSONL, o.traceEventsCSV, o.sample)
+	s, err := cfg.Scenario(bulktx.WithTrace(topts))
+	if err != nil {
+		return err
+	}
+	res, err := bulktx.RunScenario(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntraced run (seed %d):\n", cfg.Seed)
+	fmt.Print(bulktx.EnergyBreakdownTable(res.PerNode))
+	fmt.Printf("# breakdown sum %v vs run total %v\n",
+		bulktx.TotalPerNode(res.PerNode), res.TotalEnergy)
+	if res.Trace != nil && len(res.Trace.Samples) > 0 {
+		fmt.Printf("# %d energy samples at %v intervals (export with -trace-jsonl)\n",
+			len(res.Trace.Samples), o.sample)
+	}
+
+	runs := []bulktx.TracedRun{{
+		Label:  fmt.Sprintf("%s-seed%d", cfg.Model, cfg.Seed),
+		Result: res,
+	}}
+	return bulktx.ExportTraceFiles(runs, o.traceJSONL, o.traceEventsCSV, o.traceEnergyCSV)
 }

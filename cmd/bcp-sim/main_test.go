@@ -2,6 +2,8 @@ package main
 
 import (
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -111,5 +113,46 @@ func TestMeterAliasCompiles(t *testing.T) {
 	var m bulktx.Meters = 200
 	if float64(m) != 200 {
 		t.Error("Meters alias broken")
+	}
+}
+
+func TestTraceFlagsImplyTracedRun(t *testing.T) {
+	o := mustParse(t, "-trace-jsonl", "x.jsonl")
+	if !o.wantTrace() {
+		t.Error("-trace-jsonl did not imply a traced run")
+	}
+	o = mustParse(t, "-trace-sample", "30s")
+	if !o.wantTrace() {
+		t.Error("-trace-sample did not imply a traced run")
+	}
+	if mustParse(t).wantTrace() {
+		t.Error("default flags request a traced run")
+	}
+}
+
+func TestRunEndToEndTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	events := filepath.Join(dir, "events.csv")
+	energy := filepath.Join(dir, "energy.csv")
+	err := run([]string{
+		"-duration", "60s", "-runs", "1", "-senders", "5", "-rate", "2",
+		"-trace", "-trace-sample", "20s",
+		"-trace-jsonl", jsonl, "-trace-events-csv", events, "-trace-energy-csv", energy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{jsonl, events, energy} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("export missing: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("export %s is empty", path)
+		}
 	}
 }

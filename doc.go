@@ -74,6 +74,19 @@
 // several figures reuses every overlapping grid cell. The cmd/bcp-sweep
 // executable exposes the engine directly for ad-hoc grids.
 //
+// # Tracing
+//
+// WithTrace attaches a per-run observability probe to any scenario:
+// per-node per-radio per-state energy breakdowns (SimResult.PerNode,
+// rendered by EnergyBreakdownTable, summing back to TotalEnergy),
+// packet provenance with per-hop latency, radio state transitions and
+// periodic energy samples (SimResult.Trace), selected by TraceOptions.
+// Untraced runs pay nothing: every probe site is a nil check, and
+// fixed-seed results are byte-identical with tracing off. Traced runs
+// export as JSONL and CSV (WriteTraceJSONL, WriteNodeEnergyCSV,
+// WriteTraceEvents); cmd/bcp-report renders the registry plus traced
+// breakdowns into a byte-stable markdown reproduction report.
+//
 // # Event core
 //
 // Every simulated run executes on the internal/sim discrete-event

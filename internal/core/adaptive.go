@@ -164,6 +164,7 @@ func (a *Agent) sendDataViaSensor(p Packet) {
 	hop, ok := a.mesh.NextHop(a.cfg.NodeID, p.Dst)
 	if !ok {
 		a.stats.PacketsDropped++
+		a.notePacket(PacketDroppedNoRoute, p)
 		return
 	}
 	frame := radio.Frame{
@@ -176,6 +177,7 @@ func (a *Agent) sendDataViaSensor(p Packet) {
 	// caller's priority, so no re-buffering.
 	if err := a.sensor.Send(frame); err != nil {
 		a.stats.PacketsLost++
+		a.notePacket(PacketLost, p)
 	}
 }
 
@@ -189,5 +191,6 @@ func (a *Agent) handleSensorData(p Packet) {
 		return
 	}
 	a.stats.SensorForwards++
+	a.notePacket(PacketForwarded, p)
 	a.sendDataViaSensor(p)
 }

@@ -84,7 +84,58 @@ type Agent struct {
 	flushing      bool
 	deadlineTimer sim.Timer
 	onDeliver     func(Packet)
+	onPacket      func(PacketEvent, Packet)
 	stats         Stats
+}
+
+// PacketEvent classifies a per-packet provenance notification from an
+// agent (see SetOnPacket). Deliveries are not among them: the onDeliver
+// callback already carries those.
+type PacketEvent int
+
+// Packet provenance events.
+const (
+	// PacketForwarded marks a packet re-buffered (store-and-forward) or
+	// relayed over the low-power radio at an intermediate node.
+	PacketForwarded PacketEvent = iota + 1
+	// PacketDroppedNoRoute marks a packet refused because the node has
+	// no high-power next hop toward the sink.
+	PacketDroppedNoRoute
+	// PacketDroppedBufferFull marks a packet refused at admission by a
+	// full buffer.
+	PacketDroppedBufferFull
+	// PacketLost marks a packet abandoned in flight (a burst frame the
+	// MAC gave up on, an unreachable burst target, a full low-power
+	// queue on the delay-bound path).
+	PacketLost
+)
+
+// String names the event (drop events name their reason).
+func (e PacketEvent) String() string {
+	switch e {
+	case PacketForwarded:
+		return "forwarded"
+	case PacketDroppedNoRoute:
+		return "no-route"
+	case PacketDroppedBufferFull:
+		return "buffer-full"
+	case PacketLost:
+		return "lost"
+	default:
+		return fmt.Sprintf("PacketEvent(%d)", int(e))
+	}
+}
+
+// SetOnPacket registers a per-packet provenance observer (nil
+// disables). The trace subsystem uses it to follow packets hop by hop;
+// a disabled observer costs one nil check per event site.
+func (a *Agent) SetOnPacket(fn func(PacketEvent, Packet)) { a.onPacket = fn }
+
+// notePacket reports one provenance event to the observer, if any.
+func (a *Agent) notePacket(ev PacketEvent, p Packet) {
+	if a.onPacket != nil {
+		a.onPacket(ev, p)
+	}
 }
 
 // NewAgent wires a BCP agent over its two MACs and routing state. The
@@ -156,10 +207,12 @@ func (a *Agent) Buffer(p Packet) {
 	nh, ok := a.wifiRoute.NextHop(a.cfg.NodeID)
 	if !ok {
 		a.stats.PacketsDropped++
+		a.notePacket(PacketDroppedNoRoute, p)
 		return
 	}
 	if a.bufferedBytes+p.Size > a.cfg.BufferCap {
 		a.stats.PacketsDropped++
+		a.notePacket(PacketDroppedBufferFull, p)
 		return
 	}
 	q := a.buffers[nh]
@@ -450,6 +503,9 @@ func (a *Agent) startBurst(sendBytes units.ByteSize) {
 		// No high-power identity for the target: the data cannot be
 		// shipped. Count the packets as lost and close out.
 		a.stats.PacketsLost += uint64(nPackets)
+		for _, p := range burst {
+			a.notePacket(PacketLost, p)
+		}
 		a.finishBurst()
 		return
 	}
@@ -482,6 +538,9 @@ func (a *Agent) startBurst(sendBytes units.ByteSize) {
 			// packet loss here and shrink the expected completion count.
 			a.stats.FramesLost++
 			a.stats.PacketsLost += uint64(len(chunk))
+			for _, p := range chunk {
+				a.notePacket(PacketLost, p)
+			}
 			a.pendingFrames--
 			continue
 		}
@@ -514,6 +573,9 @@ func (a *Agent) handleWifiDrop(f radio.Frame, _ mac.DropReason) {
 	}
 	a.stats.FramesLost++
 	a.stats.PacketsLost += uint64(len(b.Packets))
+	for _, p := range b.Packets {
+		a.notePacket(PacketLost, p)
+	}
 	if !a.sending || a.pendingFrames == 0 {
 		return
 	}
@@ -588,6 +650,7 @@ func (a *Agent) acceptPacket(p Packet) {
 		return
 	}
 	a.stats.PacketsForwarded++
+	a.notePacket(PacketForwarded, p)
 	a.Buffer(p)
 }
 

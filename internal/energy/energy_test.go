@@ -296,3 +296,86 @@ func TestStateString(t *testing.T) {
 		t.Errorf("Class(9).String() = %q", got)
 	}
 }
+
+func TestMeterSnapshotCanonicalOrder(t *testing.T) {
+	clk := &meterClock{}
+	m := NewMeter(Cabletron(), clk.time)
+
+	m.Transition(WakingUp)
+	clk.now += 2 * time.Millisecond
+	m.Transition(Tx)
+	clk.now += 10 * time.Millisecond
+	m.Transition(Rx)
+	clk.now += 5 * time.Millisecond
+	m.Transition(Idle)
+	clk.now += 100 * time.Millisecond
+	m.ChargeEnergy(Overhear, 1e-3)
+
+	snap := m.Snapshot()
+	// Entries follow States() order and only active states appear (the
+	// meter never idled in Off with accumulated time: it started there
+	// with zero residency).
+	var prev int = -1
+	order := States()
+	index := make(map[State]int, len(order))
+	for i, s := range order {
+		index[s] = i
+	}
+	var sum units.Energy
+	for _, e := range snap {
+		i, ok := index[e.State]
+		if !ok {
+			t.Fatalf("snapshot carries unknown state %v", e.State)
+		}
+		if i <= prev {
+			t.Fatalf("snapshot out of canonical order: %+v", snap)
+		}
+		prev = i
+		if e.Energy == 0 && e.Time == 0 {
+			t.Errorf("snapshot carries empty entry %+v", e)
+		}
+		sum += e.Energy
+	}
+	if got := m.Total(); sum != got {
+		t.Errorf("snapshot energies sum to %v, Total() = %v", sum, got)
+	}
+	// The Overhear ledger entry has energy but no residency.
+	last := snap[len(snap)-1]
+	if last.State != Overhear || last.Time != 0 || last.Energy != 1e-3 {
+		t.Errorf("overhear entry = %+v", last)
+	}
+}
+
+func TestMeterOnTransitionFiresOnChangeOnly(t *testing.T) {
+	clk := &meterClock{}
+	m := NewMeter(Micaz(), clk.time)
+	type change struct{ from, to State }
+	var seen []change
+	m.SetOnTransition(func(from, to State) { seen = append(seen, change{from, to}) })
+
+	m.Transition(Idle)
+	m.Transition(Idle) // same state: residency settles, no event
+	clk.now += time.Millisecond
+	m.Transition(Idle) // still no event
+	m.Transition(Tx)
+	m.Transition(Off)
+
+	want := []change{{Off, Idle}, {Idle, Tx}, {Tx, Off}}
+	if len(seen) != len(want) {
+		t.Fatalf("observed %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("observed %v, want %v", seen, want)
+		}
+	}
+
+	// The observer sees the meter already in its new state, so probes
+	// reading State() observe a consistent machine.
+	m.SetOnTransition(func(from, to State) {
+		if m.State() != to {
+			t.Errorf("observer saw stale state %v during %v->%v", m.State(), from, to)
+		}
+	})
+	m.Transition(Rx)
+}

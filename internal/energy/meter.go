@@ -76,6 +76,11 @@ type Meter struct {
 	// Charging policy: the paper's "Sensor-ideal" model charges only
 	// tx/rx on sensor radios (idle/overhear free). Free states draw zero.
 	freeStates map[State]bool
+
+	// onTransition, when set, observes every effective state change.
+	// Nil costs a single pointer check per Transition — the trace
+	// subsystem's zero-cost-when-disabled contract rests on it.
+	onTransition func(from, to State)
 }
 
 // NewMeter returns a meter for the given profile starting in state Off at
@@ -105,6 +110,12 @@ func (m *Meter) Profile() Profile { return m.profile }
 // State returns the current radio state.
 func (m *Meter) State() State { return m.state }
 
+// SetOnTransition registers an observer fired on every effective state
+// change (from != to), after the previous state's residency has been
+// charged. Nil disables observation; a disabled meter costs only a nil
+// check on the transition path.
+func (m *Meter) SetOnTransition(fn func(from, to State)) { m.onTransition = fn }
+
 // Transition moves the radio to state s, charging for the residency in
 // the previous state. Transitioning Off -> WakingUp charges the profile's
 // fixed wake-up energy.
@@ -114,7 +125,11 @@ func (m *Meter) Transition(s State) {
 		m.addEnergy(WakingUp, m.profile.Wakeup)
 		m.wakeups++
 	}
+	from := m.state
 	m.state = s
+	if m.onTransition != nil && s != from {
+		m.onTransition(from, s)
+	}
 }
 
 // ChargeEnergy adds a fixed energy amount attributed to state s; used for
@@ -144,6 +159,36 @@ func (m *Meter) ByState() map[State]units.Energy {
 func (m *Meter) TimeIn(s State) time.Duration {
 	m.settle()
 	return m.inState[s]
+}
+
+// StateSnapshot is one power state's accumulated ledger entry: the
+// energy charged to the state and the time spent in it.
+type StateSnapshot struct {
+	// State is the power state the entry describes.
+	State State
+	// Energy is the total energy charged to the state so far.
+	Energy units.Energy
+	// Time is the cumulative residency in the state so far (zero for
+	// ledger-only pseudo-states such as Overhear).
+	Time time.Duration
+}
+
+// Snapshot settles the meter and returns its per-state ledger in
+// canonical state order (see States), including only states that have
+// accumulated energy or residency. The fixed order makes snapshots
+// safe to aggregate with float arithmetic: summing entries in slice
+// order is bit-stable across runs, unlike iterating the ByState map.
+func (m *Meter) Snapshot() []StateSnapshot {
+	m.settle()
+	out := make([]StateSnapshot, 0, len(m.byState))
+	for _, s := range States() {
+		e, t := m.byState[s], m.inState[s]
+		if e == 0 && t == 0 {
+			continue
+		}
+		out = append(out, StateSnapshot{State: s, Energy: e, Time: t})
+	}
+	return out
 }
 
 // Wakeups returns the number of Off -> WakingUp transitions.

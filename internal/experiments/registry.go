@@ -39,6 +39,40 @@ func Registry() map[string]Runner {
 	}
 }
 
+// descriptions maps registry names to the paper artifact each runner
+// reproduces and the method behind it. The README's "Reproducing the
+// paper" walkthrough and the bcp-report generator both render from
+// this table, so it is the single source of the name -> figure mapping.
+var descriptions = map[string]string{
+	"table1": "Paper Table 1 — the radio energy characteristics (analytic; read straight from the profile definitions).",
+	"fig1":   "Paper Figure 1 — energy consumption vs data size on a single hop with free idling (Section 2 break-even model).",
+	"fig2":   "Paper Figure 2 — break-even data size vs high-power idle time (Section 2 break-even model).",
+	"fig3":   "Paper Figure 3 — break-even data size vs multi-hop forward progress (Section 2 break-even model).",
+	"fig4":   "Paper Figure 4 — energy savings vs burst size under the wake-up/idle cost model (Section 2).",
+	"fig5":   "Paper Figure 5 — single-hop goodput vs number of senders (simulated; dual-radio curves per burst size plus Sensor and 802.11 baselines).",
+	"fig6":   "Paper Figure 6 — single-hop normalized energy (J/Kbit) vs senders (simulated; includes Sensor-ideal and Sensor-header charging policies).",
+	"fig7":   "Paper Figure 7 — single-hop normalized energy vs mean delay, one point per burst size (simulated).",
+	"fig8":   "Paper Figure 8 — multi-hop goodput vs senders (simulated; Cabletron reaches the sink in one hop).",
+	"fig9":   "Paper Figure 9 — multi-hop normalized energy vs senders (simulated).",
+	"fig10":  "Paper Figure 10 — multi-hop normalized energy vs mean delay (simulated).",
+	"fig11":  "Paper Figure 11 — prototype energy per packet vs the alpha-s* threshold (mote emulation, Section 4.2).",
+	"fig12":  "Paper Figure 12 — prototype energy per packet vs delay per packet (mote emulation, Section 4.2).",
+
+	"ablation-shortcut":   "Beyond the paper: Section 3's route shortcut learning vs a plain wifi routing tree.",
+	"ablation-linger":     "Beyond the paper: post-burst idle linger, quantifying Figure 4's \"idle\" scenario in simulation.",
+	"ablation-mingrant":   "Beyond the paper: the give-up extension — aborting handshakes whose grant falls below s*.",
+	"ablation-loss":       "Beyond the paper: goodput under injected sensor-channel loss.",
+	"ablation-adaptive":   "Beyond the paper: static vs adaptive thresholds under 802.11 loss (the paper's future-work direction).",
+	"ablation-delaybound": "Beyond the paper: the delay-bound extension rerouting overdue packets over the low-power radio.",
+	"ablation-topology":   "Beyond the paper: normalized energy across deployment topologies (grid, uniform, clustered, linear).",
+	"ablation-churn":      "Beyond the paper: goodput under random node failure and recovery.",
+}
+
+// Describe returns a one-line account of which paper artifact an
+// experiment reproduces (or, for ablations, what question it answers).
+// Unknown names return an empty string.
+func Describe(name string) string { return descriptions[name] }
+
 // Names returns the registry keys in stable order.
 func Names() []string {
 	reg := Registry()

@@ -262,12 +262,15 @@ func (m *MAC) SetOnDrop(fn func(radio.Frame, DropReason)) { m.onDrop = fn }
 // Send enqueues a frame for transmission. The MAC assigns the sequence
 // number. Unicast data and control frames are acknowledged and retried;
 // broadcast frames are fire-and-forget.
+//
+// A full queue rejects the frame through the returned error alone (plus
+// the DropQueueFull counter): the caller holding the frame is the one
+// notified. The onDrop callback fires only for frames that were
+// accepted and later abandoned, so a caller handling both the error
+// and the callback never sees the same frame twice.
 func (m *MAC) Send(f radio.Frame) error {
 	if m.queueLen() >= m.params.QueueCap {
 		m.stats.Drops[DropQueueFull]++
-		if m.onDrop != nil {
-			m.onDrop(f, DropQueueFull)
-		}
 		return fmt.Errorf("%w: %q at %d frames", ErrQueueFull, m.params.Name, m.queueLen())
 	}
 	m.seq++

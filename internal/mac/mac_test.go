@@ -192,23 +192,34 @@ func TestQueueOverflow(t *testing.T) {
 	p := SensorParams()
 	p.QueueCap = 4
 	_, macs := testLink(t, 2, 0, p)
-	overflowed := 0
+	// Synchronous rejection must notify through the error alone — the
+	// onDrop callback is reserved for accepted-then-abandoned frames,
+	// so callers handling both never double-count a rejection.
+	callbacks := 0
 	macs[0].SetOnDrop(func(_ radio.Frame, r DropReason) {
 		if r == DropQueueFull {
-			overflowed++
+			callbacks++
 		}
 	})
 	var lastErr error
+	rejected := 0
 	for i := 0; i < 6; i++ {
 		if err := macs[0].Send(radio.Frame{Kind: radio.KindData, Dst: 1, Size: 43}); err != nil {
 			lastErr = err
+			rejected++
 		}
 	}
 	if !errors.Is(lastErr, ErrQueueFull) {
 		t.Errorf("overflow error = %v, want ErrQueueFull", lastErr)
 	}
-	if overflowed != 2 {
-		t.Errorf("overflow drops = %d, want 2", overflowed)
+	if rejected != 2 {
+		t.Errorf("rejected sends = %d, want 2", rejected)
+	}
+	if callbacks != 0 {
+		t.Errorf("onDrop fired %d times on synchronous rejection, want 0", callbacks)
+	}
+	if got := macs[0].Stats().Drops[DropQueueFull]; got != 2 {
+		t.Errorf("Drops[DropQueueFull] = %d, want 2", got)
 	}
 }
 

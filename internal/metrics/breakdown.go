@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bulktx/internal/units"
+)
+
+// StateEnergy is one power state's share of a radio's energy ledger.
+type StateEnergy struct {
+	// State names the power state ("idle", "rx", "tx", ...).
+	State string `json:"state"`
+	// Energy is the total energy charged to the state over the run.
+	Energy units.Energy `json:"energy_j"`
+	// Time is the cumulative residency in the state (zero for
+	// ledger-only pseudo-states such as "overhear").
+	Time time.Duration `json:"time"`
+}
+
+// RadioEnergy is one radio's per-state energy breakdown on one node.
+type RadioEnergy struct {
+	// Radio names the channel the radio is attached to ("sensor",
+	// "wifi").
+	Radio string `json:"radio"`
+	// Total is the radio's charged energy across all states.
+	Total units.Energy `json:"total_j"`
+	// Wakeups counts off->on transitions.
+	Wakeups int `json:"wakeups"`
+	// States is the per-state ledger in canonical state order.
+	States []StateEnergy `json:"states"`
+}
+
+// NodeEnergy is one node's complete energy breakdown: every radio, every
+// power state. A run's []NodeEnergy is the observability counterpart of
+// the scalar TotalEnergy — TotalPerNode over it reproduces the scalar.
+type NodeEnergy struct {
+	// Node is the node index.
+	Node int `json:"node"`
+	// Total is the node's charged energy across all radios.
+	Total units.Energy `json:"total_j"`
+	// Radios holds one breakdown per attached radio, in channel
+	// attachment order (sensor before wifi on dual-radio nodes).
+	Radios []RadioEnergy `json:"radios"`
+}
+
+// TotalPerNode sums a per-node breakdown back to a whole-run energy
+// total. Summation follows slice order (nodes, then radios, then
+// states), which is fixed by construction, so the result is bit-stable
+// across repeated runs of the same seed.
+func TotalPerNode(nodes []NodeEnergy) units.Energy {
+	var total units.Energy
+	for _, n := range nodes {
+		for _, r := range n.Radios {
+			for _, s := range r.States {
+				total += s.Energy
+			}
+		}
+	}
+	return total
+}
+
+// EnergyBreakdownTable renders a per-node breakdown as a fixed-width
+// table in the style of Table.Render: one row per (node, radio) pair,
+// one energy column per power state observed anywhere in the breakdown
+// (in first-appearance order, which construction keeps canonical).
+func EnergyBreakdownTable(nodes []NodeEnergy) string {
+	var b strings.Builder
+	b.WriteString("# per-node energy breakdown (J)\n")
+
+	// Column set: union of state names in first-appearance order.
+	var states []string
+	seen := make(map[string]bool)
+	for _, n := range nodes {
+		for _, r := range n.Radios {
+			for _, s := range r.States {
+				if !seen[s.State] {
+					seen[s.State] = true
+					states = append(states, s.State)
+				}
+			}
+		}
+	}
+
+	fmt.Fprintf(&b, "%-6s %-8s %12s %8s", "node", "radio", "total", "wakeups")
+	for _, s := range states {
+		fmt.Fprintf(&b, " %12s", s)
+	}
+	b.WriteString("\n")
+	for _, n := range nodes {
+		for _, r := range n.Radios {
+			fmt.Fprintf(&b, "%-6d %-8s %12.6g %8d", n.Node, r.Radio, r.Total.Joules(), r.Wakeups)
+			byState := make(map[string]units.Energy, len(r.States))
+			for _, s := range r.States {
+				byState[s.State] = s.Energy
+			}
+			for _, s := range states {
+				fmt.Fprintf(&b, " %12.6g", byState[s].Joules())
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleBreakdown() []NodeEnergy {
+	return []NodeEnergy{
+		{
+			Node: 0, Total: 0.5,
+			Radios: []RadioEnergy{
+				{
+					Radio: "sensor", Total: 0.2,
+					States: []StateEnergy{
+						{State: "rx", Energy: 0.15, Time: 2 * time.Second},
+						{State: "tx", Energy: 0.05, Time: time.Second},
+					},
+				},
+				{
+					Radio: "wifi", Total: 0.3, Wakeups: 4,
+					States: []StateEnergy{
+						{State: "idle", Energy: 0.1, Time: 3 * time.Second},
+						{State: "tx", Energy: 0.2, Time: time.Second},
+					},
+				},
+			},
+		},
+		{
+			Node: 7, Total: 0.25,
+			Radios: []RadioEnergy{
+				{
+					Radio: "sensor", Total: 0.25,
+					States: []StateEnergy{
+						{State: "rx", Energy: 0.25, Time: 5 * time.Second},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestTotalPerNode(t *testing.T) {
+	if got := TotalPerNode(nil); got != 0 {
+		t.Errorf("TotalPerNode(nil) = %v, want 0", got)
+	}
+	got := TotalPerNode(sampleBreakdown())
+	if math.Abs(got.Joules()-0.75) > 1e-12 {
+		t.Errorf("TotalPerNode = %v, want 0.75 J", got)
+	}
+}
+
+func TestEnergyBreakdownTable(t *testing.T) {
+	out := EnergyBreakdownTable(sampleBreakdown())
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Comment, header, then one row per (node, radio) pair.
+	if len(lines) != 2+3 {
+		t.Fatalf("got %d lines, want 5:\n%s", len(lines), out)
+	}
+	header := lines[1]
+	// State columns appear in first-appearance order.
+	for _, col := range []string{"node", "radio", "total", "wakeups", "rx", "tx", "idle"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("header %q missing column %q", header, col)
+		}
+	}
+	if strings.Index(header, "rx") > strings.Index(header, "idle") {
+		t.Errorf("state columns out of first-appearance order: %q", header)
+	}
+	if !strings.Contains(lines[2], "sensor") || !strings.Contains(lines[3], "wifi") {
+		t.Errorf("rows out of order:\n%s", out)
+	}
+	// Missing states render as zero, not as misaligned gaps: every row
+	// splits into the same number of fields.
+	wantFields := len(strings.Fields(header))
+	for _, row := range lines[2:] {
+		if got := len(strings.Fields(row)); got != wantFields {
+			t.Errorf("row %q has %d fields, want %d", row, got, wantFields)
+		}
+	}
+}
+
+func TestEnergyBreakdownTableEmpty(t *testing.T) {
+	out := EnergyBreakdownTable(nil)
+	if !strings.Contains(out, "per-node energy breakdown") {
+		t.Errorf("empty table lost its header: %q", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("empty breakdown rendered rows:\n%s", out)
+	}
+}
+
+// The paper metrics must stay well-defined at the edges the sweep and
+// report layers feed them: no deliveries, no runs, infinite energy.
+func TestNormalizedEnergyInf(t *testing.T) {
+	r := RunResult{TotalEnergy: 1}
+	if got := r.NormalizedEnergy(); !math.IsInf(got, 1) {
+		t.Errorf("energy spent with nothing delivered = %v, want +Inf", got)
+	}
+	if got := (RunResult{}).NormalizedEnergy(); got != 0 {
+		t.Errorf("idle run normalized energy = %v, want 0", got)
+	}
+}
+
+func TestSummarizeInfSamples(t *testing.T) {
+	s := Summarize([]float64{math.Inf(1), math.Inf(1)})
+	if !math.IsInf(s.Mean, 1) {
+		t.Errorf("mean of +Inf samples = %v, want +Inf", s.Mean)
+	}
+	if s.N != 2 {
+		t.Errorf("N = %d, want 2", s.N)
+	}
+	// A mixed sample keeps an infinite mean rather than poisoning N.
+	s = Summarize([]float64{1, math.Inf(1)})
+	if !math.IsInf(s.Mean, 1) || s.N != 2 {
+		t.Errorf("mixed Inf summary = %+v", s)
+	}
+}

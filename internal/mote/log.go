@@ -35,11 +35,16 @@ func (k RadioKind) String() string {
 // Entry is one logged radio event: which node, which radio, what
 // happened, when, and the frame size for tx/rx events.
 type Entry struct {
-	Node  int
+	// Node is the mote the event happened on.
+	Node int
+	// Radio identifies which of the node's radios acted.
 	Radio RadioKind
+	// Event is the observed transceiver activity.
 	Event radio.EventKind
-	At    sim.Time
-	Size  units.ByteSize
+	// At is the simulated event time.
+	At sim.Time
+	// Size is the frame size for tx/rx events (zero otherwise).
+	Size units.ByteSize
 }
 
 // Log is a time-ordered event log (events are appended in simulation

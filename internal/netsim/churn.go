@@ -14,8 +14,11 @@ import (
 // application keeps generating (and losing) traffic, which is the
 // observable cost of churn.
 type ChurnEvent struct {
-	At   time.Duration
+	// At is the event's offset into the run.
+	At time.Duration
+	// Node is the affected node index.
 	Node int
+	// Down is true for a crash, false for a recovery.
 	Down bool
 }
 

@@ -31,6 +31,7 @@ import (
 	"bulktx/internal/params"
 	"bulktx/internal/radio"
 	"bulktx/internal/topo"
+	"bulktx/internal/trace"
 	"bulktx/internal/units"
 )
 
@@ -119,6 +120,13 @@ type Config struct {
 
 	// Sink is the collection node index; negative selects the default
 	// near-center node.
+	//
+	// Deprecated: the negative sentinel is the flat layer's legacy
+	// encoding of "no explicit sink" and is honored forever so that
+	// serialized configs and sweep cache keys keep working, but new
+	// code should express placement through the builder instead:
+	// WithSink(SinkNearCenter()) for the default, WithSink(SinkAt(i))
+	// for a pinned node. No further sentinel values will be added.
 	Sink int
 
 	// Senders is how many nodes stream CBR traffic to the sink (5-35).
@@ -314,7 +322,11 @@ func (c Config) topology() Topology {
 // compilation is exact: a fixed-seed run through the compiled scenario
 // is byte-identical to the pre-redesign flat-config runner (asserted by
 // the golden-fingerprint tests).
-func (c Config) Scenario() (*Scenario, error) {
+//
+// The optional extra options apply after the compiled ones, so callers
+// can layer non-serializable concerns — WithTrace, most commonly — on
+// top of a flat config without leaving the compatibility surface.
+func (c Config) Scenario(extra ...Option) (*Scenario, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -358,6 +370,7 @@ func (c Config) Scenario() (*Scenario, error) {
 		// drives channel loss, backoff and arrivals.
 		opts = append(opts, WithChurn(RandomChurn(c.ChurnRate, down, c.Seed^churnSeedSalt)))
 	}
+	opts = append(opts, extra...)
 	return NewScenario(opts...)
 }
 
@@ -365,6 +378,7 @@ func (c Config) Scenario() (*Scenario, error) {
 type Result struct {
 	// RunResult holds the metric inputs (TotalEnergy follows the model's
 	// charging policy; for the sensor model it is the header-model total).
+	// Its PerNode breakdown is populated only for traced runs.
 	metrics.RunResult
 	// IdealEnergy is the sensor model's total without overhearing
 	// charges (equal to TotalEnergy for other models).
@@ -375,6 +389,12 @@ type Result struct {
 	AgentStats core.Stats
 	// Events counts scheduler events processed.
 	Events uint64
+	// Trace holds the recorded event/sample streams of a traced run
+	// (nil otherwise). It is deliberately excluded from the JSON
+	// encoding — event streams are exported through the sweep trace
+	// exporters, not serialized inside results; PerNode (omitempty,
+	// absent when untraced) is the serializable breakdown.
+	Trace *trace.Recording `json:"-"`
 }
 
 // defaultSink picks the node closest to the field center, matching the

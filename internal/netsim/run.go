@@ -15,6 +15,7 @@ import (
 	"bulktx/internal/radio"
 	"bulktx/internal/routing"
 	"bulktx/internal/sim"
+	"bulktx/internal/trace"
 	"bulktx/internal/units"
 	"bulktx/internal/workload"
 )
@@ -28,6 +29,10 @@ type forwarder struct {
 	tree      *routing.Tree
 	header    units.ByteSize
 	onDeliver func(core.Packet)
+	// probe, when non-nil, records per-hop packet provenance. The nil
+	// check per forwarded packet is the whole cost of disabled tracing
+	// on this path.
+	probe *trace.Collector
 }
 
 func newForwarder(
@@ -36,8 +41,9 @@ func newForwarder(
 	tree *routing.Tree,
 	header units.ByteSize,
 	onDeliver func(core.Packet),
+	probe *trace.Collector,
 ) *forwarder {
-	f := &forwarder{id: id, m: m, tree: tree, header: header, onDeliver: onDeliver}
+	f := &forwarder{id: id, m: m, tree: tree, header: header, onDeliver: onDeliver, probe: probe}
 	m.SetOnReceive(f.receive)
 	return f
 }
@@ -52,7 +58,13 @@ func (f *forwarder) submit(p core.Packet) {
 	}
 	nh, ok := f.tree.NextHop(f.id)
 	if !ok {
-		return // disconnected: packet lost
+		// Disconnected (a churn-failed relay, or a layout hole): the
+		// packet is lost here, and traced provenance must say so or the
+		// packet would vanish from the stream without a terminal event.
+		if f.probe != nil {
+			f.probe.PacketDropped(f.id, p.Src, p.Dst, p.Seq, "no-route")
+		}
+		return
 	}
 	frame := radio.Frame{
 		Kind:    radio.KindData,
@@ -61,14 +73,19 @@ func (f *forwarder) submit(p core.Packet) {
 		Payload: p,
 	}
 	// Queue overflow is the model's loss mechanism under contention; the
-	// MAC counts the drop.
-	_ = f.m.Send(frame)
+	// MAC counts the rejection and reports it through the error alone.
+	if err := f.m.Send(frame); err != nil && f.probe != nil {
+		f.probe.PacketDropped(f.id, p.Src, p.Dst, p.Seq, "queue-full")
+	}
 }
 
 func (f *forwarder) receive(frame radio.Frame) {
 	p, ok := frame.Payload.(core.Packet)
 	if !ok {
 		return
+	}
+	if f.probe != nil && p.Dst != f.id {
+		f.probe.PacketForwarded(f.id, p.Src, p.Dst, p.Seq)
 	}
 	f.submit(p)
 }
@@ -94,6 +111,10 @@ func RunScenario(s *Scenario) (Result, error) {
 func runInstrumented(s *Scenario, probe func(i int, wifi *energy.Meter, on bool)) (Result, error) {
 	sched := sim.NewScheduler(s.seed)
 	recorder := workload.NewRecorder(sched)
+	var tr *trace.Collector
+	if s.traceOn {
+		tr = trace.NewCollector(s.traceOpts, sched.Now)
+	}
 	var (
 		res     Result
 		emit    []func(core.Packet) // per-node packet entry point
@@ -105,11 +126,11 @@ func runInstrumented(s *Scenario, probe func(i int, wifi *energy.Meter, on bool)
 
 	switch s.model {
 	case ModelSensor:
-		sensorM, emit, err = buildSensorModel(s, sched, recorder)
+		sensorM, emit, err = buildSensorModel(s, sched, recorder, tr)
 	case ModelWifi:
-		wifiM, emit, err = buildWifiModel(s, sched, recorder)
+		wifiM, emit, err = buildWifiModel(s, sched, recorder, tr)
 	case ModelDual:
-		sensorM, wifiM, agents, emit, err = buildDualModel(s, sched, recorder)
+		sensorM, wifiM, agents, emit, err = buildDualModel(s, sched, recorder, tr)
 	default:
 		err = fmt.Errorf("netsim: unhandled model %v", s.model)
 	}
@@ -130,11 +151,32 @@ func runInstrumented(s *Scenario, probe func(i int, wifi *energy.Meter, on bool)
 				rate.BitsPerSecond() * float64(time.Second))
 			startWindow = period * time.Duration(s.burstPackets)
 		}
-		g, err := newSource(s, sched, rate, sender, s.sinkID, startWindow, emit[sender])
+		emitFn := emit[sender]
+		if tr != nil {
+			node, inner := sender, emitFn
+			emitFn = func(p core.Packet) {
+				tr.PacketGenerated(node, p.Src, p.Dst, p.Seq)
+				inner(p)
+			}
+		}
+		g, err := newSource(s, sched, rate, sender, s.sinkID, startWindow, emitFn)
 		if err != nil {
 			return Result{}, err
 		}
 		generators = append(generators, g)
+	}
+
+	// Periodic energy sampling rides the ordinary event queue; it is
+	// scheduled at all only when the trace options ask for it, so the
+	// untraced queue carries no extra events.
+	if tr != nil && tr.SampleInterval() > 0 {
+		interval := tr.SampleInterval()
+		var tick func()
+		tick = func() {
+			tr.TakeSample()
+			sched.After(interval, tick)
+		}
+		sched.After(interval, tick)
 	}
 
 	// Churn: the schedule was resolved and validated at build time; each
@@ -194,6 +236,11 @@ func runInstrumented(s *Scenario, probe func(i int, wifi *energy.Meter, on bool)
 	for _, a := range agents {
 		res.AgentStats = addAgentStats(res.AgentStats, a.Stats())
 	}
+	if tr != nil {
+		rec := tr.Finish()
+		res.PerNode = rec.PerNode
+		res.Trace = rec
+	}
 	if probe != nil {
 		for i, m := range wifiM {
 			x := m.Transceiver()
@@ -201,6 +248,66 @@ func runInstrumented(s *Scenario, probe func(i int, wifi *energy.Meter, on bool)
 		}
 	}
 	return res, nil
+}
+
+// wireTraceRadio registers a radio's meter with the collector and
+// forwards its effective state transitions as trace events. A nil
+// collector leaves the meter's transition hook nil — the zero-cost
+// fast path.
+func wireTraceRadio(tr *trace.Collector, node int, name string, x *radio.Transceiver) {
+	if tr == nil {
+		return
+	}
+	tr.RegisterMeter(node, name, x.Meter())
+	x.Meter().SetOnTransition(func(from, to energy.State) {
+		tr.StateChange(node, name, from, to)
+	})
+}
+
+// tracedDeliver wraps a sink delivery callback with provenance
+// recording (identity on untraced runs or non-sink nodes).
+func tracedDeliver(tr *trace.Collector, node int, deliver func(core.Packet)) func(core.Packet) {
+	if tr == nil || deliver == nil {
+		return deliver
+	}
+	return func(p core.Packet) {
+		tr.PacketDelivered(node, p.Src, p.Dst, p.Seq)
+		deliver(p)
+	}
+}
+
+// wireTraceMACDrops records data packets a MAC accepted and later
+// abandoned (retry limit, radio off). Synchronous queue-full
+// rejections are not among them — Send reports those through its
+// error, and the rejected frame's holder records the drop — and
+// control/burst frames carry non-Packet payloads and are skipped (the
+// agent reports those losses through its own packet observer), so each
+// lost packet traces exactly once.
+func wireTraceMACDrops(tr *trace.Collector, node int, m *mac.MAC) {
+	if tr == nil {
+		return
+	}
+	m.SetOnDrop(func(f radio.Frame, reason mac.DropReason) {
+		if p, ok := f.Payload.(core.Packet); ok {
+			tr.PacketDropped(node, p.Src, p.Dst, p.Seq, reason.String())
+		}
+	})
+}
+
+// wireTraceAgent maps a BCP agent's packet observer onto the collector:
+// store-and-forward events become forwards, everything else a drop
+// named by the event.
+func wireTraceAgent(tr *trace.Collector, node int, a *core.Agent) {
+	if tr == nil {
+		return
+	}
+	a.SetOnPacket(func(ev core.PacketEvent, p core.Packet) {
+		if ev == core.PacketForwarded {
+			tr.PacketForwarded(node, p.Src, p.Dst, p.Seq)
+			return
+		}
+		tr.PacketDropped(node, p.Src, p.Dst, p.Seq, ev.String())
+	})
 }
 
 // buildSensorModel attaches only sensor radios with hop-by-hop
@@ -211,6 +318,7 @@ func buildSensorModel(
 	s *Scenario,
 	sched *sim.Scheduler,
 	recorder *workload.Recorder,
+	tr *trace.Collector,
 ) ([]*mac.MAC, []func(core.Packet), error) {
 	layout, sink := s.layout, s.sinkID
 	nodes := layout.Len()
@@ -241,11 +349,13 @@ func buildSensorModel(
 			return nil, nil, err
 		}
 		macs[i] = m
+		wireTraceRadio(tr, i, "sensor", x)
+		wireTraceMACDrops(tr, i, m)
 		var deliver func(core.Packet)
 		if i == sink {
-			deliver = recorder.Receive
+			deliver = tracedDeliver(tr, i, recorder.Receive)
 		}
-		f := newForwarder(i, m, tree, params.SensorHeader, deliver)
+		f := newForwarder(i, m, tree, params.SensorHeader, deliver, tr)
 		emit[i] = f.submit
 	}
 	return macs, emit, nil
@@ -256,6 +366,7 @@ func buildWifiModel(
 	s *Scenario,
 	sched *sim.Scheduler,
 	recorder *workload.Recorder,
+	tr *trace.Collector,
 ) ([]*mac.MAC, []func(core.Packet), error) {
 	layout, sink := s.layout, s.sinkID
 	nodes := layout.Len()
@@ -290,13 +401,15 @@ func buildWifiModel(
 			return nil, nil, err
 		}
 		macs[i] = m
+		wireTraceRadio(tr, i, "wifi", x)
+		wireTraceMACDrops(tr, i, m)
 		var deliver func(core.Packet)
 		if i == sink {
-			deliver = recorder.Receive
+			deliver = tracedDeliver(tr, i, recorder.Receive)
 		}
 		// The pure-802.11 model sends each sensor packet as its own
 		// (inefficient) small frame, as nodes have no reason to batch.
-		f := newForwarder(i, m, tree, params.WifiHeader, deliver)
+		f := newForwarder(i, m, tree, params.WifiHeader, deliver, tr)
 		emit[i] = f.submit
 	}
 	return macs, emit, nil
@@ -307,6 +420,7 @@ func buildDualModel(
 	s *Scenario,
 	sched *sim.Scheduler,
 	recorder *workload.Recorder,
+	tr *trace.Collector,
 ) ([]*mac.MAC, []*mac.MAC, []*core.Agent, []func(core.Packet), error) {
 	layout, sink := s.layout, s.sinkID
 	nodes := layout.Len()
@@ -380,6 +494,12 @@ func buildDualModel(
 			return nil, nil, nil, nil, err
 		}
 		sensorM[i], wifiM[i] = sm, wm
+		wireTraceRadio(tr, i, "sensor", sx)
+		wireTraceRadio(tr, i, "wifi", wx)
+		// The agent owns the wifi MAC's drop callback (burst-frame
+		// accounting) but leaves the sensor MAC's free; wiring it
+		// catches delay-bound data packets the CSMA MAC abandons.
+		wireTraceMACDrops(tr, i, sm)
 
 		agentCfg := core.DefaultConfig(i, s.burstPackets)
 		agentCfg.PostBurstLinger = s.postBurstLinger
@@ -393,13 +513,14 @@ func buildDualModel(
 		agentCfg.DelayBound = s.delayBound
 		var deliver func(core.Packet)
 		if i == sink {
-			deliver = recorder.Receive
+			deliver = tracedDeliver(tr, i, recorder.Receive)
 		}
 		a, err := core.NewAgent(agentCfg, sched, sm, wm, mesh, wifiRoute, addr, deliver)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
 		agents[i] = a
+		wireTraceAgent(tr, i, a)
 		emit[i] = a.Buffer
 	}
 	return sensorM, wifiM, agents, emit, nil

@@ -7,6 +7,7 @@ import (
 	"bulktx/internal/energy"
 	"bulktx/internal/params"
 	"bulktx/internal/topo"
+	"bulktx/internal/trace"
 	"bulktx/internal/units"
 )
 
@@ -128,6 +129,9 @@ type Scenario struct {
 	adaptiveAlpha      float64
 	delayBound         time.Duration
 
+	traceOn   bool
+	traceOpts trace.Options
+
 	// Resolved at build time.
 	layout      *topo.Layout
 	sinkID      int
@@ -228,6 +232,24 @@ func WithAdaptiveThreshold(alpha float64) Option {
 // packets older than the bound are sent over the low-power radio
 // (default off).
 func WithDelayBound(d time.Duration) Option { return func(s *Scenario) { s.delayBound = d } }
+
+// WithTrace enables per-run observability: every run of the scenario
+// records per-node per-radio per-state energy breakdowns
+// (Result.PerNode), and — as the options select — packet-provenance
+// and state-transition event streams plus periodic energy samples
+// (Result.Trace). Tracing never perturbs the simulated trajectory:
+// goodput, delays and the sequence of protocol events are identical to
+// an untraced run of the same seed (sampling ticks do grow the Events
+// counter, and settling meters at sample instants can shift energy
+// totals by float-rounding ulps). Scenarios without WithTrace pay
+// nothing: the probe hooks stay nil, which is the benchmarked
+// zero-cost fast path.
+func WithTrace(o trace.Options) Option {
+	return func(s *Scenario) {
+		s.traceOn = true
+		s.traceOpts = o
+	}
+}
 
 // NewScenario assembles and validates a Scenario from its parts. Every
 // default is explicit — the zero Scenario does not exist — and every

@@ -52,8 +52,10 @@ func (k EventKind) String() string {
 // harness (paper Section 4.2) reconstructs energy consumption from these
 // logs, exactly as the authors post-processed their TinyOS event logs.
 type Event struct {
+	// Kind is the observed activity.
 	Kind EventKind
-	At   sim.Time
+	// At is the simulated event time.
+	At sim.Time
 	// Size is the frame size for tx/rx events (zero otherwise).
 	Size units.ByteSize
 }

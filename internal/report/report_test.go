@@ -1,0 +1,149 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"bulktx/internal/experiments"
+	"bulktx/internal/netsim"
+	"bulktx/internal/params"
+	"bulktx/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// tinyScale keeps simulated figures to a fraction of a second.
+func tinyScale() experiments.Scale {
+	return experiments.Scale{
+		Duration: 60 * time.Second,
+		Runs:     1,
+		BaseSeed: 1,
+		Senders:  []int{5},
+		Bursts:   []int{100},
+		SHRate:   params.HighRate,
+		MHRate:   params.HighRate,
+	}
+}
+
+// The golden pins the exact bytes of a small report: analytic artifact
+// plus all three traced breakdowns. Regenerate with `go test
+// ./internal/report -run Golden -update` after intentional changes.
+func TestReportGolden(t *testing.T) {
+	rep, err := Build(Options{
+		Experiments:       []string{"table1", "fig2"},
+		Scale:             tinyScale(),
+		ScaleName:         "tiny",
+		BreakdownDuration: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_tiny.md")
+	if *update {
+		if err := os.WriteFile(golden, rep.Markdown, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(rep.Markdown, want) {
+		t.Errorf("report drifted from golden %s (run with -update if intentional)\ngot %d bytes, want %d",
+			golden, len(rep.Markdown), len(want))
+	}
+}
+
+// Byte stability through the full pipeline, including a simulated
+// figure on the shared sweep engine and event-recording trace options.
+func TestReportByteStable(t *testing.T) {
+	opts := Options{
+		Experiments:       []string{"fig5"},
+		Scale:             tinyScale(),
+		ScaleName:         "tiny",
+		BreakdownDuration: 60 * time.Second,
+		BreakdownModels:   []netsim.Model{netsim.ModelDual},
+		TraceOptions:      trace.Options{Packets: true, SampleEvery: 10 * time.Second},
+	}
+	a, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Markdown, b.Markdown) {
+		t.Error("two builds at the same seed produced different bytes")
+	}
+	if len(a.Breakdowns) != 1 || a.Breakdowns[0].Label != "dual-radio" {
+		t.Fatalf("breakdown runs = %+v", a.Breakdowns)
+	}
+	if a.Breakdowns[0].Result.Trace == nil {
+		t.Error("breakdown run carried no trace despite event options")
+	}
+}
+
+func TestReportStructure(t *testing.T) {
+	rep, err := Build(Options{
+		Experiments:       []string{"table1"},
+		Scale:             tinyScale(),
+		ScaleName:         "tiny",
+		BreakdownDuration: 60 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(rep.Markdown)
+	for _, want := range []string{
+		"# bulktx paper-reproduction report",
+		"## Reproduced artifacts",
+		"### table1",
+		experiments.Describe("table1"),
+		"## Per-node energy breakdowns",
+		"### sensor",
+		"### 802.11",
+		"### dual-radio",
+		"# per-node energy breakdown (J)",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(rep.Breakdowns) != 3 {
+		t.Errorf("got %d breakdown runs, want 3", len(rep.Breakdowns))
+	}
+}
+
+func TestReportUnknownExperiment(t *testing.T) {
+	_, err := Build(Options{
+		Experiments:       []string{"fig99"},
+		Scale:             tinyScale(),
+		BreakdownDuration: -1,
+	})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestReportSkipsBreakdownsWhenNegative(t *testing.T) {
+	rep, err := Build(Options{
+		Experiments:       []string{"table1"},
+		Scale:             tinyScale(),
+		BreakdownDuration: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(rep.Markdown), "Per-node energy breakdowns") {
+		t.Error("negative breakdown duration still rendered the section")
+	}
+	if len(rep.Breakdowns) != 0 {
+		t.Errorf("got %d breakdown runs, want none", len(rep.Breakdowns))
+	}
+}

@@ -11,9 +11,12 @@ import (
 // Outcome is an executed sweep: the job list and one result per job,
 // plus how many jobs were served from the cache.
 type Outcome struct {
-	Jobs    []Job
+	// Jobs is the executed job list in spec order.
+	Jobs []Job
+	// Results holds one result per job, index-aligned with Jobs.
 	Results []netsim.Result
-	Cached  int
+	// Cached counts how many jobs were served from the result cache.
+	Cached int
 }
 
 // PointResults returns the results of one grid point in repetition
@@ -32,9 +35,11 @@ func (o *Outcome) PointResults(pt Point) []netsim.Result {
 // metrics: mean and 95% CI over seeds for goodput and normalized
 // energy (total and overhearing-free), plus the mean delay.
 type CellSummary struct {
+	// Point is the grid cell the summaries describe.
 	Point Point
 	// Runs is the number of seeded repetitions behind the summaries.
-	Runs    int
+	Runs int
+	// Goodput is delivered over generated bits, summarized over seeds.
 	Goodput metrics.Summary
 	// NormEnergy is normalized energy under the model's full charging
 	// policy; IdealEnergy excludes overhearing charges (sensor model).

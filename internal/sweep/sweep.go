@@ -27,9 +27,13 @@ import (
 // their zero values ("" and 0) are the default grid-without-churn
 // scenario, so legacy points compare (and cache) exactly as before.
 type Point struct {
-	Model   netsim.Model
+	// Model selects sensor / 802.11 / dual-radio.
+	Model netsim.Model
+	// Senders is the cell's CBR sender count.
 	Senders int
-	Burst   int
+	// Burst is the dual model's alpha-s* threshold in sensor packets.
+	Burst int
+	// Traffic is the arrival process of the cell's senders.
 	Traffic netsim.Traffic
 
 	// Topology is the layout family ("" = the default grid; see
@@ -57,8 +61,11 @@ func (p Point) String() string {
 // Job is one simulation run of a sweep: a grid point, the repetition
 // index within the point, and the fully resolved run configuration.
 type Job struct {
-	Point  Point
-	Rep    int
+	// Point is the grid cell the job belongs to.
+	Point Point
+	// Rep is the repetition index within the point (seed BaseSeed+Rep).
+	Rep int
+	// Config is the fully resolved run configuration.
 	Config netsim.Config
 }
 

@@ -1,0 +1,302 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"bulktx/internal/netsim"
+	"bulktx/internal/trace"
+)
+
+// TracedRun pairs an export label with the result of one traced run
+// (netsim.WithTrace). The label distinguishes runs in shared streams —
+// a model name, a seed, a grid-point key.
+type TracedRun struct {
+	// Label tags every exported row/record of the run.
+	Label string
+	// Result is the run's outcome; its PerNode and Trace fields feed
+	// the exporters (untraced results simply contribute no rows).
+	Result netsim.Result
+}
+
+// TraceOptionsFor returns the trace.Options a planned export set
+// needs — the single home of the "which export carries which stream"
+// policy shared by the CLIs: JSONL and events-CSV exports carry the
+// event streams, so requesting either enables packet and state
+// recording; node-energy CSV needs only the always-on breakdowns.
+func TraceOptionsFor(jsonlPath, eventsCSVPath string, sampleEvery time.Duration) trace.Options {
+	wantEvents := jsonlPath != "" || eventsCSVPath != ""
+	return trace.Options{
+		Packets:     wantEvents,
+		States:      wantEvents,
+		SampleEvery: sampleEvery,
+	}
+}
+
+// ExportTraceFile writes one trace export to path using the given
+// writer (WriteTraceJSONL, WriteNodeEnergyCSV or WriteTraceEventsCSV).
+func ExportTraceFile(path string, runs []TracedRun, write func(io.Writer, []TracedRun) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, runs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ExportTraceFiles is the shared engine behind the CLIs' -trace-*
+// flags: it writes the JSONL, events-CSV and node-energy-CSV exports
+// of the traced runs to the given paths, skipping empty ones.
+func ExportTraceFiles(runs []TracedRun, jsonlPath, eventsCSVPath, energyCSVPath string) error {
+	for _, exp := range []struct {
+		path  string
+		write func(io.Writer, []TracedRun) error
+	}{
+		{jsonlPath, WriteTraceJSONL},
+		{eventsCSVPath, WriteTraceEventsCSV},
+		{energyCSVPath, WriteNodeEnergyCSV},
+	} {
+		if exp.path == "" {
+			continue
+		}
+		if err := ExportTraceFile(exp.path, runs, exp.write); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// The JSONL wire shapes of WriteTraceJSONL: one record per line,
+// discriminated by "type" ("node-energy", "event", "sample"). Each
+// type carries a fixed field set — zero values are written, never
+// omitted, so consumers can validate a stable per-type schema. Times
+// are seconds of simulated time; energies joules.
+
+// nodeEnergyRecord is one radio's end-of-run energy breakdown.
+type nodeEnergyRecord struct {
+	Type    string            `json:"type"` // "node-energy"
+	Label   string            `json:"label"`
+	Node    int               `json:"node"`
+	Radio   string            `json:"radio"`
+	TotalJ  float64           `json:"total_j"`
+	Wakeups int               `json:"wakeups"`
+	States  []traceStateShare `json:"states"`
+}
+
+// traceStateShare is one power state's share inside a node-energy
+// record.
+type traceStateShare struct {
+	State   string  `json:"state"`
+	EnergyJ float64 `json:"energy_j"`
+	TimeS   float64 `json:"time_s"`
+}
+
+// pktEventRecord is one packet-provenance event ("generated",
+// "forwarded", "delivered", "dropped").
+type pktEventRecord struct {
+	Type       string  `json:"type"` // "event"
+	Label      string  `json:"label"`
+	AtS        float64 `json:"at_s"`
+	Kind       string  `json:"kind"`
+	Node       int     `json:"node"`
+	Src        int     `json:"src"`
+	Dst        int     `json:"dst"`
+	Seq        uint64  `json:"seq"`
+	HopLatency float64 `json:"hop_latency_s"`
+	Reason     string  `json:"reason,omitempty"` // drops only
+}
+
+// stateEventRecord is one radio power-state transition.
+type stateEventRecord struct {
+	Type  string  `json:"type"` // "event"
+	Label string  `json:"label"`
+	AtS   float64 `json:"at_s"`
+	Kind  string  `json:"kind"` // "state"
+	Node  int     `json:"node"`
+	Radio string  `json:"radio"`
+	From  string  `json:"from"`
+	To    string  `json:"to"`
+}
+
+// sampleRecord is one periodic cumulative-energy sample.
+type sampleRecord struct {
+	Type    string  `json:"type"` // "sample"
+	Label   string  `json:"label"`
+	AtS     float64 `json:"at_s"`
+	Node    int     `json:"node"`
+	Radio   string  `json:"radio"`
+	EnergyJ float64 `json:"energy_j"`
+	State   string  `json:"state"`
+}
+
+// WriteTraceJSONL streams the traced runs as JSON lines: per-radio
+// node-energy records first (per run), then the event stream, then the
+// samples, each tagged with the run's label. The record order is fixed
+// by construction, so the output is byte-stable for a fixed seed.
+func WriteTraceJSONL(w io.Writer, runs []TracedRun) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	emit := func(rec any) error {
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("sweep: trace jsonl: %w", err)
+		}
+		return nil
+	}
+	for _, run := range runs {
+		for _, n := range run.Result.PerNode {
+			for _, r := range n.Radios {
+				rec := nodeEnergyRecord{
+					Type: "node-energy", Label: run.Label,
+					Node: n.Node, Radio: r.Radio,
+					TotalJ: r.Total.Joules(), Wakeups: r.Wakeups,
+					States: make([]traceStateShare, 0, len(r.States)),
+				}
+				for _, s := range r.States {
+					rec.States = append(rec.States, traceStateShare{
+						State: s.State, EnergyJ: s.Energy.Joules(), TimeS: s.Time.Seconds(),
+					})
+				}
+				if err := emit(rec); err != nil {
+					return err
+				}
+			}
+		}
+		rec := run.Result.Trace
+		if rec == nil {
+			continue
+		}
+		for _, ev := range rec.Events {
+			var out any
+			if ev.Kind == trace.KindState {
+				out = stateEventRecord{
+					Type: "event", Label: run.Label,
+					AtS: ev.At.Seconds(), Kind: ev.Kind.String(), Node: ev.Node,
+					Radio: ev.Radio, From: ev.From.String(), To: ev.To.String(),
+				}
+			} else {
+				out = pktEventRecord{
+					Type: "event", Label: run.Label,
+					AtS: ev.At.Seconds(), Kind: ev.Kind.String(), Node: ev.Node,
+					Src: ev.Src, Dst: ev.Dst, Seq: ev.Seq,
+					HopLatency: ev.HopLatency.Seconds(), Reason: ev.Reason,
+				}
+			}
+			if err := emit(out); err != nil {
+				return err
+			}
+		}
+		for _, sm := range rec.Samples {
+			if err := emit(sampleRecord{
+				Type: "sample", Label: run.Label,
+				AtS: sm.At.Seconds(), Node: sm.Node, Radio: sm.Radio,
+				EnergyJ: sm.Energy.Joules(), State: sm.State.String(),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("sweep: trace jsonl: %w", err)
+	}
+	return nil
+}
+
+// nodeEnergyHeader is the fixed column order of WriteNodeEnergyCSV.
+// Rows with state "total" carry the radio's total energy and wake-up
+// count; per-state rows follow in canonical state order.
+var nodeEnergyHeader = []string{
+	"label", "node", "radio", "state", "energy_j", "time_s", "wakeups",
+}
+
+// WriteNodeEnergyCSV exports the per-node per-radio per-state energy
+// breakdowns of traced runs as CSV: for each (node, radio) a "total"
+// row followed by one row per power state.
+func WriteNodeEnergyCSV(w io.Writer, runs []TracedRun) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(nodeEnergyHeader); err != nil {
+		return fmt.Errorf("sweep: node-energy csv: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, run := range runs {
+		for _, n := range run.Result.PerNode {
+			for _, r := range n.Radios {
+				rows := [][]string{{
+					run.Label, strconv.Itoa(n.Node), r.Radio, "total",
+					f(r.Total.Joules()), "", strconv.Itoa(r.Wakeups),
+				}}
+				for _, s := range r.States {
+					rows = append(rows, []string{
+						run.Label, strconv.Itoa(n.Node), r.Radio, s.State,
+						f(s.Energy.Joules()), f(s.Time.Seconds()), "",
+					})
+				}
+				for _, row := range rows {
+					if err := cw.Write(row); err != nil {
+						return fmt.Errorf("sweep: node-energy csv: %w", err)
+					}
+				}
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("sweep: node-energy csv: %w", err)
+	}
+	return nil
+}
+
+// traceEventHeader is the fixed column order of WriteTraceEventsCSV.
+var traceEventHeader = []string{
+	"label", "at_s", "kind", "node", "src", "dst", "seq",
+	"hop_latency_s", "radio", "from", "to", "reason",
+}
+
+// WriteTraceEventsCSV exports the event streams of traced runs as CSV,
+// one row per event in simulated-time order. Packet-provenance columns
+// are empty on state rows and vice versa.
+func WriteTraceEventsCSV(w io.Writer, runs []TracedRun) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(traceEventHeader); err != nil {
+		return fmt.Errorf("sweep: trace-events csv: %w", err)
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, run := range runs {
+		if run.Result.Trace == nil {
+			continue
+		}
+		for _, ev := range run.Result.Trace.Events {
+			row := []string{
+				run.Label, f(ev.At.Seconds()), ev.Kind.String(),
+				strconv.Itoa(ev.Node), "", "", "", "", "", "", "", "",
+			}
+			if ev.Kind == trace.KindState {
+				row[8] = ev.Radio
+				row[9] = ev.From.String()
+				row[10] = ev.To.String()
+			} else {
+				row[4] = strconv.Itoa(ev.Src)
+				row[5] = strconv.Itoa(ev.Dst)
+				row[6] = strconv.FormatUint(ev.Seq, 10)
+				row[7] = f(ev.HopLatency.Seconds())
+				row[11] = ev.Reason
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("sweep: trace-events csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("sweep: trace-events csv: %w", err)
+	}
+	return nil
+}

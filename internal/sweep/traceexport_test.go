@@ -1,0 +1,189 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"bulktx/internal/netsim"
+	"bulktx/internal/trace"
+)
+
+// tracedResult runs a short traced simulation once per test binary.
+func tracedResult(t *testing.T) netsim.Result {
+	t.Helper()
+	cfg := netsim.DefaultConfig(netsim.ModelDual, 5, 100, 1)
+	cfg.Duration = 120 * time.Second
+	cfg.Rate = 2000 // 2 Kbps so bursts fire within the short run
+	s, err := cfg.Scenario(netsim.WithTrace(trace.Options{
+		Packets:     true,
+		States:      true,
+		SampleEvery: 30 * time.Second,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := netsim.RunScenario(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteTraceJSONL(t *testing.T) {
+	res := tracedResult(t)
+	var buf bytes.Buffer
+	if err := WriteTraceJSONL(&buf, []TracedRun{{Label: "dual", Result: res}}); err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]int{}
+	sc := bufio.NewScanner(&buf)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", sc.Text(), err)
+		}
+		if rec["label"] != "dual" {
+			t.Fatalf("line missing label: %v", rec)
+		}
+		types[rec["type"].(string)]++
+		// Per-type schemas are fixed: zero values are written, never
+		// omitted (a zero-energy radio still carries total_j/wakeups).
+		switch rec["type"] {
+		case "node-energy":
+			for _, key := range []string{"node", "radio", "total_j", "wakeups", "states"} {
+				if _, ok := rec[key]; !ok {
+					t.Fatalf("node-energy record missing %q: %v", key, rec)
+				}
+			}
+		case "sample":
+			for _, key := range []string{"at_s", "energy_j", "state"} {
+				if _, ok := rec[key]; !ok {
+					t.Fatalf("sample record missing %q: %v", key, rec)
+				}
+			}
+		case "event":
+			if _, ok := rec["at_s"]; !ok {
+				t.Fatalf("event record missing at_s: %v", rec)
+			}
+			if rec["kind"] == "state" {
+				if _, ok := rec["from"]; !ok {
+					t.Fatalf("state event missing from: %v", rec)
+				}
+			} else if _, ok := rec["hop_latency_s"]; !ok {
+				t.Fatalf("provenance event missing hop_latency_s: %v", rec)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"node-energy", "event", "sample"} {
+		if types[want] == 0 {
+			t.Errorf("no %q records in JSONL export (saw %v)", want, types)
+		}
+	}
+	// One node-energy record per (node, radio): 36 dual-radio nodes.
+	if got := types["node-energy"]; got != 72 {
+		t.Errorf("got %d node-energy records, want 72", got)
+	}
+}
+
+func TestWriteNodeEnergyCSV(t *testing.T) {
+	res := tracedResult(t)
+	var buf bytes.Buffer
+	if err := WriteNodeEnergyCSV(&buf, []TracedRun{{Label: "dual", Result: res}}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatal("no data rows")
+	}
+	if got, want := len(rows[0]), len(nodeEnergyHeader); got != want {
+		t.Fatalf("header has %d columns, want %d", got, want)
+	}
+	var totals int
+	for _, row := range rows[1:] {
+		if len(row) != len(nodeEnergyHeader) {
+			t.Fatalf("ragged row %v", row)
+		}
+		if row[3] == "total" {
+			totals++
+			if row[6] == "" {
+				t.Errorf("total row missing wakeups: %v", row)
+			}
+		}
+	}
+	if totals != 72 {
+		t.Errorf("got %d total rows, want one per (node, radio) = 72", totals)
+	}
+}
+
+func TestWriteTraceEventsCSV(t *testing.T) {
+	res := tracedResult(t)
+	var buf bytes.Buffer
+	if err := WriteTraceEventsCSV(&buf, []TracedRun{{Label: "dual", Result: res}}); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(res.Trace.Events) {
+		t.Fatalf("got %d rows, want header + %d events", len(rows), len(res.Trace.Events))
+	}
+	// State rows carry radio columns; provenance rows carry packet
+	// columns — never both.
+	for _, row := range rows[1:] {
+		isState := row[2] == "state"
+		if isState && (row[4] != "" || row[8] == "") {
+			t.Fatalf("state row misfiled: %v", row)
+		}
+		if !isState && (row[4] == "" || row[8] != "") {
+			t.Fatalf("provenance row misfiled: %v", row)
+		}
+	}
+}
+
+func TestTraceOptionsFor(t *testing.T) {
+	o := TraceOptionsFor("", "", 0)
+	if o.Packets || o.States || o.SampleEvery != 0 {
+		t.Errorf("no exports requested, got %+v", o)
+	}
+	o = TraceOptionsFor("t.jsonl", "", 30*time.Second)
+	if !o.Packets || !o.States || o.SampleEvery != 30*time.Second {
+		t.Errorf("jsonl export should enable event streams, got %+v", o)
+	}
+	o = TraceOptionsFor("", "ev.csv", 0)
+	if !o.Packets || !o.States {
+		t.Errorf("events-csv export should enable event streams, got %+v", o)
+	}
+}
+
+func TestTraceExportsSkipUntracedRuns(t *testing.T) {
+	res, err := netsim.Run(netsim.DefaultConfig(netsim.ModelSensor, 5, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jsonl, csvBuf bytes.Buffer
+	runs := []TracedRun{{Label: "plain", Result: res}}
+	if err := WriteTraceJSONL(&jsonl, runs); err != nil {
+		t.Fatal(err)
+	}
+	if jsonl.Len() != 0 {
+		t.Errorf("untraced run produced JSONL output: %q", jsonl.String())
+	}
+	if err := WriteNodeEnergyCSV(&csvBuf, runs); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.Count(csvBuf.Bytes(), []byte("\n")); got != 1 {
+		t.Errorf("untraced run produced %d CSV lines, want header only", got)
+	}
+}

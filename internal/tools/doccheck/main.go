@@ -1,0 +1,174 @@
+// Command doccheck fails when exported identifiers lack doc comments —
+// the CI docs gate behind the repository's godoc-complete policy.
+//
+// Usage:
+//
+//	go run ./internal/tools/doccheck ./...
+//
+// It walks the named packages (pattern "./..." from the module root),
+// skipping test files and package main (commands and examples document
+// themselves through their package comments). An exported identifier
+// is documented if it carries its own doc comment or sits inside a
+// documented const/var/type block. Exported fields of exported structs
+// are checked too, honoring the repository's grouping idiom: one doc
+// comment covers the documented field plus the line-adjacent fields
+// immediately below it. Each violation is reported as file:line, and
+// any violation makes the exit status non-zero.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 && os.Args[1] != "./..." {
+		root = strings.TrimSuffix(os.Args[1], "/...")
+	}
+	violations, err := check(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	for _, v := range violations {
+		fmt.Println(v)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d exported identifiers without doc comments\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// check parses every non-test Go file under root and returns one
+// "file:line: message" string per undocumented exported identifier.
+func check(root string) ([]string, error) {
+	var violations []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if file.Name.Name == "main" {
+			return nil
+		}
+		violations = append(violations, checkFile(fset, path, file)...)
+		return nil
+	})
+	return violations, err
+}
+
+// checkFile inspects one parsed file's top-level declarations.
+func checkFile(fset *token.FileSet, path string, file *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", path, p.Line, kind, name))
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			// Methods count when their receiver type is exported.
+			if d.Recv != nil && !exportedReceiver(d.Recv) {
+				continue
+			}
+			report(d.Pos(), "function", d.Name.Name)
+		case *ast.GenDecl:
+			// A doc comment on the const/var/type block covers every
+			// spec inside it — the repository's grouped-constant idiom.
+			blockDocumented := d.Doc != nil
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && !blockDocumented && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+					if st, ok := s.Type.(*ast.StructType); ok && s.Name.IsExported() {
+						out = append(out, checkFields(fset, path, s.Name.Name, st)...)
+					}
+				case *ast.ValueSpec:
+					if blockDocumented || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							report(name.Pos(), "value", name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkFields inspects an exported struct's exported fields. A field
+// is documented if it carries its own doc or line comment, or if it
+// sits directly below a documented field with no blank line between
+// them (the grouped-fields idiom: "Models, Senders and Bursts are the
+// swept axes" above the first of an adjacent run).
+func checkFields(fset *token.FileSet, path, typeName string, st *ast.StructType) []string {
+	var out []string
+	prevLine, prevCovered := -2, false
+	for _, field := range st.Fields.List {
+		line := fset.Position(field.Pos()).Line
+		covered := field.Doc != nil || field.Comment != nil ||
+			(prevCovered && line == prevLine+1)
+		prevLine, prevCovered = fset.Position(field.End()).Line, covered
+		if covered || len(field.Names) == 0 { // embedded fields inherit their type's docs
+			continue
+		}
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			p := fset.Position(name.Pos())
+			out = append(out, fmt.Sprintf("%s:%d: exported field %s.%s has no doc comment",
+				path, p.Line, typeName, name.Name))
+		}
+	}
+	return out
+}
+
+// exportedReceiver reports whether a method receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}

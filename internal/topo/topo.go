@@ -14,6 +14,7 @@ import (
 
 // Position is a node location on the deployment plane.
 type Position struct {
+	// X and Y are the plane coordinates in meters.
 	X, Y units.Meters
 }
 

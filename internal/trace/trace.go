@@ -1,0 +1,327 @@
+// Package trace is the simulator's per-node observability layer: a
+// streaming probe that records where every joule and every packet goes
+// during a run.
+//
+// The paper's argument rests on per-radio, per-state energy accounting
+// — sleep/idle/rx/tx/wake costs are what justify bulk transfer over the
+// high-power radio — so the probe records three complementary views:
+//
+//   - Per-node per-radio per-state energy and residency breakdowns
+//     (built from the energy meters at the end of the run; they sum
+//     back to the run's TotalEnergy).
+//   - A stream of events: radio power-state transitions and packet
+//     provenance (generation, per-hop forward, sink delivery, drops),
+//     each provenance event carrying the latency since the packet's
+//     previous hop.
+//   - Periodic time-series samples of each radio's cumulative energy.
+//
+// Tracing is strictly opt-in and zero-cost when disabled: every probe
+// call site in netsim, mac, radio and energy is guarded by a nil check
+// (netsim wires the hooks only when a Scenario carries WithTrace), so
+// the untraced hot path executes no extra instructions beyond those
+// checks and fixed-seed results stay byte-identical to the untraced
+// baselines.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"bulktx/internal/energy"
+	"bulktx/internal/metrics"
+	"bulktx/internal/sim"
+	"bulktx/internal/units"
+)
+
+// Options selects what a traced run records. The zero value records
+// only the end-of-run per-node energy breakdowns — the cheapest useful
+// configuration; event and sample streams are opt-in because their
+// volume grows with simulated time.
+type Options struct {
+	// Packets enables packet-provenance events (generation, per-hop
+	// forward, delivery, drops).
+	Packets bool
+	// States enables radio power-state transition events. State flips
+	// happen on every frame, so this is the highest-volume stream.
+	States bool
+	// SampleEvery, when positive, records each radio's cumulative
+	// energy (and current state) every interval of simulated time.
+	SampleEvery time.Duration
+	// MaxEvents caps the event log; once reached, further events are
+	// dropped and Recording.Truncated is set. Zero means unlimited.
+	MaxEvents int
+}
+
+// Kind labels a trace event.
+type Kind uint8
+
+// Trace event kinds.
+const (
+	// KindGenerated marks a packet's creation at its source.
+	KindGenerated Kind = iota + 1
+	// KindForwarded marks a packet passing through an intermediate
+	// node (hop-by-hop forwarders and BCP store-and-forward alike).
+	KindForwarded
+	// KindDelivered marks a packet reaching its destination.
+	KindDelivered
+	// KindDropped marks a packet abandoned (buffer overflow, routing
+	// failure, MAC retry exhaustion, radio shutdown).
+	KindDropped
+	// KindState marks a radio power-state transition.
+	KindState
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindGenerated:
+		return "generated"
+	case KindForwarded:
+		return "forwarded"
+	case KindDelivered:
+		return "delivered"
+	case KindDropped:
+		return "dropped"
+	case KindState:
+		return "state"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one trace record. Kind discriminates which fields are
+// meaningful: packet-provenance events carry Src/Dst/Seq/HopLatency,
+// state events carry Radio/From/To, drops additionally carry Reason.
+type Event struct {
+	// At is the simulated time of the event.
+	At time.Duration
+	// Kind discriminates the record.
+	Kind Kind
+	// Node is where the event happened.
+	Node int
+	// Src, Dst and Seq identify the packet end-to-end (provenance
+	// events only).
+	Src, Dst int
+	Seq      uint64
+	// HopLatency is the time since the packet's previous provenance
+	// event — per-hop latency for forwards, last-hop latency for
+	// deliveries (zero at generation).
+	HopLatency time.Duration
+	// Radio names the radio of a state transition ("sensor", "wifi").
+	Radio string
+	// From and To are the power states of a KindState transition.
+	From, To energy.State
+	// Reason explains a KindDropped event ("buffer-full", "no-route",
+	// "retry-limit", ...).
+	Reason string
+}
+
+// Sample is one periodic time-series point: a radio's cumulative
+// energy and current power state at a sampling instant.
+type Sample struct {
+	// At is the simulated sampling time.
+	At time.Duration
+	// Node and Radio identify the meter sampled.
+	Node  int
+	Radio string
+	// Energy is the radio's cumulative charged energy at At.
+	Energy units.Energy
+	// State is the radio's power state at At.
+	State energy.State
+}
+
+// Recording is the immutable result of a traced run.
+type Recording struct {
+	// Events is the recorded event stream in simulated-time order.
+	Events []Event
+	// Samples is the periodic energy time series in simulated-time
+	// order (empty unless Options.SampleEvery was set).
+	Samples []Sample
+	// PerNode is the end-of-run energy breakdown, ordered by node
+	// index (the same slice netsim surfaces as Result.PerNode).
+	PerNode []metrics.NodeEnergy
+	// Truncated reports that the event stream hit Options.MaxEvents
+	// and later events were dropped.
+	Truncated bool
+}
+
+// pktKey identifies a packet across hops for hop-latency tracking.
+type pktKey struct {
+	src int
+	seq uint64
+}
+
+// meterRef is one registered radio meter.
+type meterRef struct {
+	node  int
+	radio string
+	m     *energy.Meter
+}
+
+// Collector is the live probe of one traced run. It is owned by the
+// simulation goroutine and is not concurrency-safe, matching the
+// scheduler's execution model. netsim creates one per traced run and
+// threads it through the radio, MAC and forwarding layers; callers
+// receive the finished Recording via Result.Trace.
+type Collector struct {
+	opts  Options
+	clock func() sim.Time
+
+	events    []Event
+	samples   []Sample
+	truncated bool
+
+	lastHop map[pktKey]sim.Time
+	meters  []meterRef
+}
+
+// NewCollector builds a collector reading simulated time from clock.
+func NewCollector(opts Options, clock func() sim.Time) *Collector {
+	c := &Collector{opts: opts, clock: clock}
+	if opts.Packets {
+		c.lastHop = make(map[pktKey]sim.Time)
+	}
+	return c
+}
+
+// Options returns the collector's configuration.
+func (c *Collector) Options() Options { return c.opts }
+
+// append records an event, honoring the MaxEvents cap.
+func (c *Collector) append(ev Event) {
+	if c.opts.MaxEvents > 0 && len(c.events) >= c.opts.MaxEvents {
+		c.truncated = true
+		return
+	}
+	c.events = append(c.events, ev)
+}
+
+// hopLatency returns the time since the packet's previous provenance
+// event and advances (or, when final, clears) its hop clock.
+func (c *Collector) hopLatency(key pktKey, now sim.Time, final bool) time.Duration {
+	var lat time.Duration
+	if prev, ok := c.lastHop[key]; ok {
+		lat = now - prev
+	}
+	if final {
+		delete(c.lastHop, key)
+	} else {
+		c.lastHop[key] = now
+	}
+	return lat
+}
+
+// PacketGenerated records a packet's creation at node.
+func (c *Collector) PacketGenerated(node, src, dst int, seq uint64) {
+	if !c.opts.Packets {
+		return
+	}
+	now := c.clock()
+	c.lastHop[pktKey{src, seq}] = now
+	c.append(Event{At: now, Kind: KindGenerated, Node: node, Src: src, Dst: dst, Seq: seq})
+}
+
+// PacketForwarded records a packet transiting an intermediate node.
+func (c *Collector) PacketForwarded(node, src, dst int, seq uint64) {
+	if !c.opts.Packets {
+		return
+	}
+	now := c.clock()
+	c.append(Event{
+		At: now, Kind: KindForwarded, Node: node, Src: src, Dst: dst, Seq: seq,
+		HopLatency: c.hopLatency(pktKey{src, seq}, now, false),
+	})
+}
+
+// PacketDelivered records a packet reaching its destination.
+func (c *Collector) PacketDelivered(node, src, dst int, seq uint64) {
+	if !c.opts.Packets {
+		return
+	}
+	now := c.clock()
+	c.append(Event{
+		At: now, Kind: KindDelivered, Node: node, Src: src, Dst: dst, Seq: seq,
+		HopLatency: c.hopLatency(pktKey{src, seq}, now, true),
+	})
+}
+
+// PacketDropped records a packet abandoned at node for the given
+// reason.
+func (c *Collector) PacketDropped(node, src, dst int, seq uint64, reason string) {
+	if !c.opts.Packets {
+		return
+	}
+	now := c.clock()
+	c.append(Event{
+		At: now, Kind: KindDropped, Node: node, Src: src, Dst: dst, Seq: seq,
+		HopLatency: c.hopLatency(pktKey{src, seq}, now, true),
+		Reason:     reason,
+	})
+}
+
+// StateChange records a radio power-state transition at node.
+func (c *Collector) StateChange(node int, radio string, from, to energy.State) {
+	if !c.opts.States {
+		return
+	}
+	c.append(Event{
+		At: c.clock(), Kind: KindState, Node: node,
+		Radio: radio, From: from, To: to,
+	})
+}
+
+// RegisterMeter adds a radio meter to the breakdown and sampling sets.
+// netsim registers every attached radio in node order (sensor before
+// wifi on dual-radio nodes), which fixes the order of PerNode and of
+// the sample stream.
+func (c *Collector) RegisterMeter(node int, radio string, m *energy.Meter) {
+	c.meters = append(c.meters, meterRef{node: node, radio: radio, m: m})
+}
+
+// SampleInterval returns the configured sampling period (zero when
+// sampling is disabled).
+func (c *Collector) SampleInterval() time.Duration { return c.opts.SampleEvery }
+
+// TakeSample appends one time-series point per registered meter at the
+// current simulated time.
+func (c *Collector) TakeSample() {
+	now := c.clock()
+	for _, ref := range c.meters {
+		c.samples = append(c.samples, Sample{
+			At: now, Node: ref.node, Radio: ref.radio,
+			Energy: ref.m.Total(), State: ref.m.State(),
+		})
+	}
+}
+
+// Finish settles every registered meter and assembles the Recording:
+// the event and sample streams plus the per-node breakdown in node
+// order. Energies within one radio are taken from the meter's
+// canonical-order snapshot, so TotalPerNode over the breakdown
+// reproduces the run's TotalEnergy bit-stably.
+func (c *Collector) Finish() *Recording {
+	rec := &Recording{
+		Events:    c.events,
+		Samples:   c.samples,
+		Truncated: c.truncated,
+	}
+	var cur *metrics.NodeEnergy
+	for _, ref := range c.meters {
+		if cur == nil || cur.Node != ref.node {
+			rec.PerNode = append(rec.PerNode, metrics.NodeEnergy{Node: ref.node})
+			cur = &rec.PerNode[len(rec.PerNode)-1]
+		}
+		re := metrics.RadioEnergy{Radio: ref.radio, Wakeups: ref.m.Wakeups()}
+		for _, snap := range ref.m.Snapshot() {
+			re.States = append(re.States, metrics.StateEnergy{
+				State:  snap.State.String(),
+				Energy: snap.Energy,
+				Time:   snap.Time,
+			})
+			re.Total += snap.Energy
+		}
+		cur.Total += re.Total
+		cur.Radios = append(cur.Radios, re)
+	}
+	return rec
+}
