@@ -9,6 +9,8 @@ import (
 	"bulktx/internal/metrics"
 	"bulktx/internal/mote"
 	"bulktx/internal/netsim"
+	"bulktx/internal/report"
+	"bulktx/internal/service"
 	"bulktx/internal/sweep"
 	"bulktx/internal/topo"
 	"bulktx/internal/trace"
@@ -66,6 +68,31 @@ type (
 	// SweepCache memoizes simulation results by a content key over the
 	// full run configuration.
 	SweepCache = sweep.Cache
+
+	// SweepJobUpdate is one resolved job's progress record, delivered
+	// by SweepPool.RunJobsProgress as cells complete.
+	SweepJobUpdate = sweep.JobUpdate
+
+	// ConfigFieldError is a validation failure annotated with the
+	// offending configuration or spec field name (extract with
+	// errors.As); the HTTP service turns these into 400 bodies.
+	ConfigFieldError = netsim.FieldError
+
+	// SimService is the HTTP simulation service behind cmd/bcp-serve:
+	// content-keyed job submission over the shared sweep pool and
+	// cache, SSE progress streams, artifact exports, backpressure and
+	// graceful drain. It implements http.Handler; see docs/API.md.
+	SimService = service.Server
+
+	// SimServiceOptions configures a SimService (pool size, cache,
+	// queue and cell limits).
+	SimServiceOptions = service.Options
+
+	// SimServiceJobStatus is the serialized status of one service job.
+	SimServiceJobStatus = service.JobStatus
+
+	// SimServiceRunRequest is the body of the service's POST /v1/runs.
+	SimServiceRunRequest = service.RunRequest
 
 	// Scenario is a fully resolved simulation setup assembled from
 	// pluggable parts (topology, placement, workload, links, churn) by
@@ -297,6 +324,18 @@ func NewPrototypeConfig(threshold ByteSize) PrototypeConfig {
 
 // RunPrototype executes one mote prototype run.
 func RunPrototype(cfg PrototypeConfig) (PrototypeResult, error) { return mote.Run(cfg) }
+
+// NewSimService builds and starts the HTTP simulation service (the
+// zero-value options select all cores, an in-memory cache and the
+// default limits). Serve it with http.Server{Handler: svc} and drain
+// it with svc.Close(ctx) before exit.
+func NewSimService(o SimServiceOptions) *SimService { return service.New(o) }
+
+// SweepReportMarkdown renders an executed sweep outcome as a
+// byte-stable markdown document (the service's report.md artifact).
+func SweepReportMarkdown(title string, o *SweepOutcome) []byte {
+	return report.SweepMarkdown(title, o)
+}
 
 // RunSweep executes a sweep spec on a default pool (all cores,
 // in-memory cache) and returns the grouped outcome. Construct a

@@ -13,19 +13,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"bulktx"
 	"bulktx/internal/analysis"
+	"bulktx/internal/cli"
 	"bulktx/internal/energy"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "bcp-analysis:", err)
-		os.Exit(1)
-	}
+	cli.Exit("bcp-analysis", run())
 }
 
 func run() error {
@@ -74,7 +71,8 @@ func profiles(name string, all []energy.Profile) ([]energy.Profile, error) {
 	}
 	p, err := energy.ProfileByName(name)
 	if err != nil {
-		return nil, err
+		// -low/-high carried an unknown radio name: a usage problem.
+		return nil, cli.Usage(err)
 	}
 	return []energy.Profile{p}, nil
 }

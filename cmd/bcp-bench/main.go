@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"bulktx/internal/bench"
+	"bulktx/internal/cli"
 )
 
 // report is the serialized form of one bcp-bench run.
@@ -126,7 +127,7 @@ func main() {
 // runner hardware is heterogeneous.
 func compareThroughput(baselinePath string, maxRegress float64) error {
 	if maxRegress < 0 || maxRegress >= 1 {
-		return fmt.Errorf("max-regress %v outside [0, 1)", maxRegress)
+		return cli.Usagef("max-regress %v outside [0, 1)", maxRegress)
 	}
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {

@@ -16,17 +16,14 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"bulktx"
+	"bulktx/internal/cli"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "bcp-experiments:", err)
-		os.Exit(1)
-	}
+	cli.Exit("bcp-experiments", run())
 }
 
 func run() error {
@@ -54,7 +51,7 @@ func run() error {
 			fmt.Println("  ", n)
 		}
 		if *name == "" && !*list {
-			return fmt.Errorf("pass -run <name> (or -run all)")
+			return cli.Usagef("pass -run <name> (or -run all)")
 		}
 		return nil
 	}
@@ -66,7 +63,7 @@ func run() error {
 	case "full":
 		sc = bulktx.FullScale()
 	default:
-		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+		return cli.Usagef("unknown scale %q (want quick or full)", *scale)
 	}
 
 	names := []string{*name}

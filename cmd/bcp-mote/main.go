@@ -15,13 +15,11 @@ import (
 	"time"
 
 	"bulktx"
+	"bulktx/internal/cli"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "bcp-mote:", err)
-		os.Exit(1)
-	}
+	cli.Exit("bcp-mote", run())
 }
 
 func run() error {

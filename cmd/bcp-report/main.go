@@ -19,21 +19,18 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 	"strings"
 
 	"bulktx"
+	"bulktx/internal/cli"
 	"bulktx/internal/experiments"
 	"bulktx/internal/report"
 	"bulktx/internal/sweep"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "bcp-report:", err)
-		os.Exit(1)
-	}
+	cli.Exit("bcp-report", run())
 }
 
 func run() error {
@@ -71,7 +68,7 @@ func run() error {
 	case "full":
 		opts.Scale = experiments.FullScale()
 	default:
-		return fmt.Errorf("unknown scale %q (want quick or full)", *scale)
+		return cli.Usagef("unknown scale %q (want quick or full)", *scale)
 	}
 	if *names != "all" && *names != "" {
 		opts.Experiments = strings.Split(*names, ",")

@@ -1,0 +1,111 @@
+// Command bcp-serve runs the HTTP/JSON simulation service: a
+// long-lived process accepting single runs and whole sweep grids over
+// the shared worker pool and content-keyed result cache, streaming
+// per-cell progress as Server-Sent Events and serving the result
+// exports as artifacts. See docs/API.md for the endpoint reference and
+// docs/TUTORIAL.md for a walkthrough.
+//
+// Usage:
+//
+//	bcp-serve                                   # listen on :8080
+//	bcp-serve -addr 127.0.0.1:9090 -workers 8
+//	bcp-serve -cache-dir ~/.cache/bulktx-sweep  # results survive restarts
+//	bcp-serve -queue 16 -job-workers 2
+//
+// Identical submissions collapse onto one job (content-keyed dedupe);
+// a full job queue answers 429 with Retry-After. On SIGINT/SIGTERM the
+// service drains gracefully: accepted jobs finish (bounded by
+// -drain-timeout), new submissions get 503, then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bulktx/internal/cli"
+	"bulktx/internal/service"
+	"bulktx/internal/sweep"
+)
+
+func main() {
+	cli.Exit("bcp-serve", run())
+}
+
+// buildService assembles the service from the command line; split out
+// so the end-to-end tests drive exactly the wiring the binary runs.
+func buildService(workers int, cacheDir string, queue, jobWorkers, maxCells, maxJobs int) (*service.Server, error) {
+	var cache *sweep.Cache
+	if cacheDir != "" {
+		var err error
+		if cache, err = sweep.NewDiskCache(cacheDir); err != nil {
+			return nil, err
+		}
+	}
+	return service.New(service.Options{
+		Workers:    workers,
+		Cache:      cache,
+		QueueLimit: queue,
+		JobWorkers: jobWorkers,
+		MaxCells:   maxCells,
+		MaxJobs:    maxJobs,
+	}), nil
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = all cores)")
+		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (empty = in-memory only)")
+		queue      = flag.Int("queue", service.DefaultQueueLimit, "max queued jobs before submissions get 429")
+		jobWorkers = flag.Int("job-workers", 1, "jobs executing concurrently (cells within a job are already parallel)")
+		maxCells   = flag.Int("max-cells", service.DefaultMaxCells, "max simulations one submission may compile to")
+		maxJobs    = flag.Int("max-jobs", service.DefaultMaxJobs, "terminal jobs retained before the oldest are evicted")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "max wait for accepted jobs on shutdown")
+	)
+	flag.Parse()
+
+	svc, err := buildService(*workers, *cacheDir, *queue, *jobWorkers, *maxCells, *maxJobs)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc}
+	fmt.Fprintf(os.Stderr, "bcp-serve: listening on http://%s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of draining
+	fmt.Fprintln(os.Stderr, "bcp-serve: draining (new submissions get 503)...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := svc.Close(drainCtx); err != nil {
+		return err
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "bcp-serve: drained, exiting")
+	return nil
+}

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bulktx/internal/sweep"
+)
+
+// specBody is the acceptance scenario: a 2-axis sweep (models x
+// senders) small enough to finish in well under a second.
+const specBody = `{
+	"models": ["sensor", "dual"],
+	"senders": [5, 10],
+	"bursts": [10],
+	"runs": 1,
+	"duration_s": 30,
+	"rate_bps": 2000
+}`
+
+// TestServeEndToEnd drives the exact wiring the binary runs (via
+// buildService) through the acceptance path: submit a 2-axis sweep,
+// observe SSE progress, download results.csv byte-identical to
+// bcp-sweep's export, and verify a repeated POST is answered from the
+// dedupe/cache without re-simulating (asserted via /metrics).
+func TestServeEndToEnd(t *testing.T) {
+	svc, err := buildService(0, "", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Close(ctx) //nolint:errcheck // teardown
+	}()
+
+	// Submit.
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(specBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// The SSE stream must carry at least one per-cell progress event
+	// and terminate with "done".
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _ := io.ReadAll(resp.Body) // stream ends when the job does
+	resp.Body.Close()
+	if n := strings.Count(string(events), "event: cell"); n < 1 {
+		t.Fatalf("SSE stream carried %d cell events:\n%s", n, events)
+	}
+	if !strings.Contains(string(events), "event: done") {
+		t.Fatalf("SSE stream did not terminate with done:\n%s", events)
+	}
+
+	// results.csv is byte-identical to what bcp-sweep -spec ... -format
+	// csv produces: the same ParseSpecJSON -> Pool.RunSpec -> WriteCSV
+	// path over the same spec.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/artifacts/results.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results.csv = %d: %s", resp.StatusCode, got)
+	}
+	spec, err := sweep.ParseSpecJSON([]byte(specBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := (&sweep.Pool{Cache: sweep.NewCache()}).RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := sweep.WriteCSV(&want, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("results.csv diverges from bcp-sweep's export:\n got: %s\nwant: %s",
+			got, want.Bytes())
+	}
+
+	// A repeated POST of the same spec is answered from the existing
+	// job without re-simulating.
+	simulatedBefore := metric(t, ts.URL, "bulktx_cells_simulated_total")
+	resp, err = http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(specBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat submit = %d: %s", resp.StatusCode, body)
+	}
+	var again struct {
+		ID      string `json:"id"`
+		Deduped bool   `json:"deduped"`
+	}
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.ID != st.ID || !again.Deduped {
+		t.Errorf("repeat POST: id %s deduped %v, want id %s deduped true",
+			again.ID, again.Deduped, st.ID)
+	}
+	if v := metric(t, ts.URL, "bulktx_jobs_deduped_total"); v != 1 {
+		t.Errorf("jobs_deduped_total = %g, want 1", v)
+	}
+	if v := metric(t, ts.URL, "bulktx_cells_simulated_total"); v != simulatedBefore {
+		t.Errorf("repeat POST re-simulated: %g -> %g", simulatedBefore, v)
+	}
+	if v := metric(t, ts.URL, "bulktx_jobs_submitted_total"); v != 1 {
+		t.Errorf("jobs_submitted_total = %g, want 1", v)
+	}
+}
+
+// metric extracts one value from the /metrics exposition.
+func metric(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("bad metric line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not exposed", name)
+	return 0
+}

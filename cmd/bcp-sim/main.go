@@ -15,24 +15,18 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"bulktx"
+	"bulktx/internal/cli"
 	"bulktx/internal/netsim"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return // -h printed usage; a help request is not a failure
-		}
-		fmt.Fprintln(os.Stderr, "bcp-sim:", err)
-		os.Exit(1)
-	}
+	cli.Exit("bcp-sim", run(os.Args[1:]))
 }
 
 // options carries the parsed command line.
@@ -98,7 +92,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.StringVar(&o.traceJSONL, "trace-jsonl", "", "export the traced run as JSON lines (implies -trace)")
 	fs.StringVar(&o.traceEventsCSV, "trace-events-csv", "", "export the traced run's events as CSV (implies -trace)")
 	fs.StringVar(&o.traceEnergyCSV, "trace-energy-csv", "", "export the traced run's per-node energy breakdown as CSV (implies -trace)")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return options{}, err
 	}
 	return o, nil
@@ -113,7 +107,7 @@ func buildConfig(o options) (bulktx.SimConfig, error) {
 	case "mh":
 		cfg = bulktx.NewMultiHopSimConfig(o.senders, o.burst, o.seed)
 	default:
-		return cfg, fmt.Errorf("unknown case %q (want sh or mh)", o.scenario)
+		return cfg, cli.Usagef("unknown case %q (want sh or mh)", o.scenario)
 	}
 	switch o.model {
 	case "sensor":
@@ -123,7 +117,7 @@ func buildConfig(o options) (bulktx.SimConfig, error) {
 	case "dual":
 		cfg.Model = bulktx.ModelDual
 	default:
-		return cfg, fmt.Errorf("unknown model %q (want sensor, wifi or dual)", o.model)
+		return cfg, cli.Usagef("unknown model %q (want sensor, wifi or dual)", o.model)
 	}
 	cfg.Duration = o.duration
 	cfg.SensorLoss = o.loss
@@ -138,7 +132,7 @@ func buildConfig(o options) (bulktx.SimConfig, error) {
 	case "onoff":
 		cfg.Traffic = bulktx.TrafficOnOff
 	default:
-		return cfg, fmt.Errorf("unknown traffic %q (want cbr, poisson or onoff)", o.traffic)
+		return cfg, cli.Usagef("unknown traffic %q (want cbr, poisson or onoff)", o.traffic)
 	}
 	if o.rate > 0 {
 		cfg.Rate = bulktx.BitRate(o.rate) * bulktx.Kbps
@@ -150,7 +144,7 @@ func buildConfig(o options) (bulktx.SimConfig, error) {
 	case "uniform", "clustered", "linear":
 		cfg.Topology = o.topology
 	default:
-		return cfg, fmt.Errorf("unknown topology %q (want grid, uniform, clustered or linear)",
+		return cfg, cli.Usagef("unknown topology %q (want grid, uniform, clustered or linear)",
 			o.topology)
 	}
 	if o.nodes > 0 {
@@ -164,7 +158,9 @@ func buildConfig(o options) (bulktx.SimConfig, error) {
 	cfg.ChurnRate = o.churn
 	cfg.ChurnMeanDowntime = o.churnDown
 	if err := cfg.Validate(); err != nil {
-		return cfg, err
+		// Every Config field came from a flag, so a validation failure
+		// is a usage problem (and exits 2 like any other bad value).
+		return cfg, cli.Usage(err)
 	}
 	return cfg, nil
 }

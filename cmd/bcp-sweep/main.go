@@ -24,14 +24,12 @@ import (
 	"strings"
 	"time"
 
+	"bulktx/internal/cli"
 	"bulktx/internal/sweep"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "bcp-sweep:", err)
-		os.Exit(1)
-	}
+	cli.Exit("bcp-sweep", run())
 }
 
 func run() error {
@@ -57,7 +55,7 @@ func run() error {
 	switch *format {
 	case "table", "json", "csv":
 	default:
-		return fmt.Errorf("unknown format %q (want table, json or csv)", *format)
+		return cli.Usagef("unknown format %q (want table, json or csv)", *format)
 	}
 
 	var spec sweep.Spec
@@ -82,13 +80,15 @@ func run() error {
 		}
 		var err error
 		if doc.Senders, err = parseInts(*senders); err != nil {
-			return fmt.Errorf("-senders: %w", err)
+			return cli.Usagef("-senders: %v", err)
 		}
 		if doc.Bursts, err = parseInts(*bursts); err != nil {
-			return fmt.Errorf("-bursts: %w", err)
+			return cli.Usagef("-bursts: %v", err)
 		}
 		if spec, err = doc.Spec(); err != nil {
-			return err
+			// The doc was assembled from flag values, so spec failures
+			// ("unknown model") are usage problems.
+			return cli.Usage(err)
 		}
 	}
 

@@ -1,0 +1,88 @@
+// Package cli carries the shared command-line conventions of the
+// bcp-* binaries: help requests exit 0, usage-class failures (flag
+// parse errors, unknown enum names, bad flag values) print a usage
+// hint and exit with status 2, and runtime failures exit with
+// status 1. Every command funnels its top-level error through Exit so
+// the exit-code contract is identical across the suite.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// UsageError marks a failure as a command-line usage problem, mapped
+// to exit status 2 by Exit.
+type UsageError struct {
+	// Err is the underlying failure.
+	Err error
+	// printed records that the flag package already reported the error
+	// and usage text (Parse with a ContinueOnError FlagSet does this),
+	// so Exit must not repeat it.
+	printed bool
+}
+
+// Error reports the underlying failure's text.
+func (e *UsageError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is/As.
+func (e *UsageError) Unwrap() error { return e.Err }
+
+// Usagef builds a usage-class error, as returned for bad flag values
+// ("unknown model", "unknown format", ...).
+func Usagef(format string, a ...any) error {
+	return &UsageError{Err: fmt.Errorf(format, a...)}
+}
+
+// Usage wraps an existing error as usage-class, preserving its chain
+// for errors.Is/As.
+func Usage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &UsageError{Err: err}
+}
+
+// Parse parses args with fs, which must use flag.ContinueOnError.
+// Help requests pass through as flag.ErrHelp (the flag package already
+// printed the usage); parse failures come back as usage-class errors
+// that the flag package already reported, so Exit maps them straight
+// to status 2 without reprinting.
+func Parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return &UsageError{Err: err, printed: true}
+	}
+	return nil
+}
+
+// exit is swapped out by the tests.
+var exit = os.Exit
+
+// Exit terminates the command according to the shared convention:
+// nil returns (status 0 at main's end), flag.ErrHelp exits 0, usage
+// errors print "run '<name> -h' for usage" and exit 2, anything else
+// prints the error and exits 1.
+func Exit(name string, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		exit(0)
+		return
+	}
+	var u *UsageError
+	if errors.As(err, &u) {
+		if !u.printed {
+			fmt.Fprintf(os.Stderr, "%s: %s\nrun '%s -h' for usage\n", name, u.Err, name)
+		}
+		exit(2)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s\n", name, err)
+	exit(1)
+}

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"io"
+	"testing"
+)
+
+// withExit captures the status Exit would have used.
+func withExit(t *testing.T, fn func()) int {
+	t.Helper()
+	status := -1
+	old := exit
+	exit = func(code int) { status = code }
+	defer func() { exit = old }()
+	fn()
+	return status
+}
+
+func TestExitCodes(t *testing.T) {
+	if got := withExit(t, func() { Exit("x", nil) }); got != -1 {
+		t.Errorf("nil error exited %d", got)
+	}
+	if got := withExit(t, func() { Exit("x", flag.ErrHelp) }); got != 0 {
+		t.Errorf("help exited %d, want 0", got)
+	}
+	if got := withExit(t, func() { Exit("x", Usagef("bad value %q", "v")) }); got != 2 {
+		t.Errorf("usage error exited %d, want 2", got)
+	}
+	if got := withExit(t, func() { Exit("x", errors.New("boom")) }); got != 1 {
+		t.Errorf("runtime error exited %d, want 1", got)
+	}
+	wrapped := Usage(errors.New("inner"))
+	if got := withExit(t, func() { Exit("x", wrapped) }); got != 2 {
+		t.Errorf("wrapped usage error exited %d, want 2", got)
+	}
+}
+
+func TestParseClassifiesErrors(t *testing.T) {
+	newFS := func() *flag.FlagSet {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		fs.Int("n", 0, "")
+		return fs
+	}
+	if err := Parse(newFS(), []string{"-n", "3"}); err != nil {
+		t.Errorf("good args: %v", err)
+	}
+	err := Parse(newFS(), []string{"-n", "notanint"})
+	var u *UsageError
+	if !errors.As(err, &u) {
+		t.Errorf("parse error %v is not usage-class", err)
+	} else if !u.printed {
+		t.Error("parse error not marked as already printed")
+	}
+	if err := Parse(newFS(), []string{"-h"}); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestUsageNil(t *testing.T) {
+	if Usage(nil) != nil {
+		t.Error("Usage(nil) != nil")
+	}
+}

@@ -240,45 +240,67 @@ func MultiHopConfig(senders, burstPackets int, seed int64) Config {
 	return cfg
 }
 
-// Validate reports whether the configuration is usable.
+// FieldError is a validation failure annotated with the name of the
+// offending field — a Config field ("Senders") or, when wrapped by the
+// spec layers, a JSON document field ("senders"). Callers that turn
+// validation failures into structured responses (the HTTP service's
+// 400 bodies) extract it with errors.As; everyone else sees a plain
+// error whose text leads with the field name.
+type FieldError struct {
+	// Field names the offending field.
+	Field string
+	// Reason describes why the field's value is unusable.
+	Reason string
+}
+
+// Error renders "invalid <field>: <reason>".
+func (e *FieldError) Error() string { return "invalid " + e.Field + ": " + e.Reason }
+
+// Validate reports whether the configuration is usable. Failures are
+// FieldErrors naming the offending Config field (wrapped under a
+// "netsim:" prefix).
 func (c Config) Validate() error {
+	bad := func(field, format string, a ...any) error {
+		return fmt.Errorf("netsim: %w", &FieldError{Field: field, Reason: fmt.Sprintf(format, a...)})
+	}
 	switch {
 	case c.Model < ModelSensor || c.Model > ModelDual:
-		return fmt.Errorf("netsim: invalid model %d", int(c.Model))
+		return bad("Model", "unknown model %d", int(c.Model))
 	case c.Nodes < 2:
-		return fmt.Errorf("netsim: need at least 2 nodes, got %d", c.Nodes)
+		return bad("Nodes", "need at least 2 nodes, got %d", c.Nodes)
 	case c.Field <= 0:
-		return fmt.Errorf("netsim: non-positive field %v", c.Field)
+		return bad("Field", "non-positive field %v", c.Field)
 	case c.Senders < 1 || c.Senders >= c.Nodes:
-		return fmt.Errorf("netsim: senders %d outside [1, %d)", c.Senders, c.Nodes)
+		return bad("Senders", "senders %d outside [1, %d)", c.Senders, c.Nodes)
 	case c.Rate <= 0:
-		return fmt.Errorf("netsim: non-positive rate %v", c.Rate)
+		return bad("Rate", "non-positive rate %v", c.Rate)
 	case c.Duration <= 0:
-		return fmt.Errorf("netsim: non-positive duration %v", c.Duration)
+		return bad("Duration", "non-positive duration %v", c.Duration)
 	case c.Model == ModelDual && c.BurstPackets < 1:
-		return fmt.Errorf("netsim: dual model needs positive burst size")
-	case c.SensorLoss < 0 || c.SensorLoss >= 1 || c.WifiLoss < 0 || c.WifiLoss >= 1:
-		return fmt.Errorf("netsim: loss probabilities outside [0,1)")
+		return bad("BurstPackets", "dual model needs a positive burst size, got %d", c.BurstPackets)
+	case c.SensorLoss < 0 || c.SensorLoss >= 1:
+		return bad("SensorLoss", "loss probability %v outside [0,1)", c.SensorLoss)
+	case c.WifiLoss < 0 || c.WifiLoss >= 1:
+		return bad("WifiLoss", "loss probability %v outside [0,1)", c.WifiLoss)
 	case c.MinGrantPackets < 0:
-		return fmt.Errorf("netsim: negative min grant")
+		return bad("MinGrantPackets", "negative min grant %d", c.MinGrantPackets)
 	case c.AdaptiveThresholdAlpha < 0:
-		return fmt.Errorf("netsim: negative adaptive alpha")
+		return bad("AdaptiveThresholdAlpha", "negative adaptive alpha %v", c.AdaptiveThresholdAlpha)
 	case c.DelayBound < 0:
-		return fmt.Errorf("netsim: negative delay bound")
+		return bad("DelayBound", "negative delay bound %v", c.DelayBound)
 	case c.Traffic < TrafficCBR || c.Traffic > TrafficOnOff:
-		return fmt.Errorf("netsim: invalid traffic model %d", int(c.Traffic))
+		return bad("Traffic", "unknown traffic model %d", int(c.Traffic))
 	case c.Clusters < 0:
-		return fmt.Errorf("netsim: negative cluster count %d", c.Clusters)
+		return bad("Clusters", "negative cluster count %d", c.Clusters)
 	case c.ChurnRate < 0:
-		return fmt.Errorf("netsim: negative churn rate %v", c.ChurnRate)
+		return bad("ChurnRate", "negative churn rate %v", c.ChurnRate)
 	case c.ChurnMeanDowntime < 0:
-		return fmt.Errorf("netsim: negative churn downtime %v", c.ChurnMeanDowntime)
+		return bad("ChurnMeanDowntime", "negative churn downtime %v", c.ChurnMeanDowntime)
 	}
 	switch c.Topology {
 	case "", TopoGrid, TopoUniform, TopoClustered, TopoLinear:
 	default:
-		return fmt.Errorf("netsim: unknown topology %q (want %v)",
-			c.Topology, TopologyKinds())
+		return bad("Topology", "unknown topology %q (want %v)", c.Topology, TopologyKinds())
 	}
 	return nil
 }

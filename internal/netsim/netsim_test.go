@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -350,5 +351,42 @@ func TestRunInvariantsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestValidateNamesOffendingField(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		field  string
+	}{
+		{func(c *Config) { c.Model = 0 }, "Model"},
+		{func(c *Config) { c.Nodes = 1 }, "Nodes"},
+		{func(c *Config) { c.Senders = 99 }, "Senders"},
+		{func(c *Config) { c.Duration = 0 }, "Duration"},
+		{func(c *Config) { c.BurstPackets = 0 }, "BurstPackets"},
+		{func(c *Config) { c.SensorLoss = 1.5 }, "SensorLoss"},
+		{func(c *Config) { c.WifiLoss = -0.1 }, "WifiLoss"},
+		{func(c *Config) { c.ChurnRate = -1 }, "ChurnRate"},
+		{func(c *Config) { c.Topology = "torus" }, "Topology"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultConfig(ModelDual, 5, 100, 1)
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid config validated", tc.field)
+			continue
+		}
+		var fe *FieldError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v is not a FieldError", tc.field, err)
+			continue
+		}
+		if fe.Field != tc.field {
+			t.Errorf("error %v names field %q, want %q", err, fe.Field, tc.field)
+		}
+	}
+	if err := DefaultConfig(ModelDual, 5, 100, 1).Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
 	}
 }

@@ -1,0 +1,38 @@
+package report
+
+import (
+	"bytes"
+	"fmt"
+
+	"bulktx/internal/sweep"
+)
+
+// SweepMarkdown renders an executed sweep outcome as a byte-stable
+// markdown document: a header with the job/cache accounting, the
+// goodput and normalized-energy tables, and a per-cell summary list.
+// It is the report.md artifact of the HTTP service's jobs; like Build,
+// the output contains no wall-clock timestamps, so identical outcomes
+// render to identical bytes.
+func SweepMarkdown(title string, o *sweep.Outcome) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# %s\n\n", title)
+	cells := o.Cells()
+	fmt.Fprintf(&b, "- jobs: %d (%d served from cache)\n", len(o.Jobs), o.Cached)
+	fmt.Fprintf(&b, "- grid points: %d\n\n", len(cells))
+
+	fmt.Fprintf(&b, "## Goodput\n\n")
+	fmt.Fprintf(&b, "```text\n%s```\n\n", o.Table(title+": goodput", sweep.MetricGoodput).Render())
+	fmt.Fprintf(&b, "## Normalized energy\n\n")
+	fmt.Fprintf(&b, "```text\n%s```\n\n", o.Table(title+": normalized energy", sweep.MetricNormEnergy).Render())
+
+	fmt.Fprintf(&b, "## Cells\n\n")
+	for _, c := range cells {
+		fmt.Fprintf(&b, "- `%s` (%d runs): goodput %.4f ± %.4f, energy %s ± %s J/Kbit, mean delay %v\n",
+			c.Point, c.Runs,
+			c.Goodput.Mean, c.Goodput.CI95,
+			formatG(c.NormEnergy.Mean), formatG(c.NormEnergy.CI95),
+			c.MeanDelay)
+	}
+	b.WriteByte('\n')
+	return b.Bytes()
+}

@@ -1,0 +1,377 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"bulktx/internal/netsim"
+	"bulktx/internal/sweep"
+	"bulktx/internal/trace"
+)
+
+// Job kinds.
+const (
+	// kindRun is a single-scenario submission (POST /v1/runs).
+	kindRun = "run"
+	// kindSweep is a grid submission (POST /v1/sweeps).
+	kindSweep = "sweep"
+)
+
+// jobState is a job's lifecycle stage.
+type jobState string
+
+// Job lifecycle states, terminal last.
+const (
+	jobQueued  jobState = "queued"
+	jobRunning jobState = "running"
+	jobDone    jobState = "done"
+	jobFailed  jobState = "failed"
+)
+
+// job is one accepted submission: a compiled job list plus its
+// execution state and event stream.
+type job struct {
+	id     string
+	kind   string
+	jobs   []sweep.Job
+	stream *stream
+
+	mu          sync.Mutex
+	state       jobState
+	errText     string
+	outcome     *sweep.Outcome
+	cellsDone   int
+	cellsCached int
+	traced      []sweep.TracedRun // lazy trace.jsonl artifact (run jobs)
+	tracedErr   error
+}
+
+// JobStatus is the serialized status of one job, returned by the
+// submit, status and list endpoints.
+type JobStatus struct {
+	// ID is the content-keyed job identifier.
+	ID string `json:"id"`
+	// Kind is "run" or "sweep".
+	Kind string `json:"kind"`
+	// State is queued, running, done or failed.
+	State string `json:"state"`
+	// Error carries the failure of a failed job.
+	Error string `json:"error,omitempty"`
+	// Cells is the number of simulations the spec compiled to;
+	// CellsDone counts resolved ones and CellsCached how many of those
+	// were served without simulating.
+	Cells       int `json:"cells"`
+	CellsDone   int `json:"cells_done"`
+	CellsCached int `json:"cells_cached"`
+	// Deduped marks a submission answered by an existing job with the
+	// same content key (submit responses only).
+	Deduped bool `json:"deduped,omitempty"`
+	// Artifacts lists the downloadable artifact names of a completed
+	// job.
+	Artifacts []string `json:"artifacts,omitempty"`
+}
+
+// status snapshots the job for serialization.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Kind: j.kind, State: string(j.state), Error: j.errText,
+		Cells: len(j.jobs), CellsDone: j.cellsDone, CellsCached: j.cellsCached,
+	}
+	if j.state == jobDone {
+		st.Artifacts = []string{"results.json", "results.csv", "report.md"}
+		if j.kind == kindRun {
+			st.Artifacts = append(st.Artifacts, "trace.jsonl")
+		}
+	}
+	return st
+}
+
+// Server is the HTTP simulation service: a bounded job queue over one
+// shared sweep pool and cache, plus the route handlers. Build one with
+// New; it implements http.Handler.
+type Server struct {
+	mux        *http.ServeMux
+	pool       *sweep.Pool
+	queueLimit int
+	maxCells   int
+	maxJobs    int
+	retryAfter time.Duration
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*job
+	order  []*job
+	queue  chan *job
+	wg     sync.WaitGroup
+
+	counters counters
+
+	// testGate, when non-nil, blocks each job between dequeue and
+	// execution — test-only scaffolding for deterministic queue-full
+	// and drain scenarios.
+	testGate func(*job)
+}
+
+// submitOutcome classifies what adopt did with a submission.
+type submitOutcome int
+
+// Submission outcomes.
+const (
+	submitNew submitOutcome = iota
+	submitDeduped
+	submitFull
+	submitClosed
+)
+
+// jobID derives the content-keyed identifier of a submission: a hash
+// over the kind and the compiled job list, so identical specs share a
+// job no matter how their JSON was spelled.
+func jobID(kind string, jobs []sweep.Job) (string, error) {
+	key, err := sweep.JobsKey(jobs)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.Sum256([]byte(kind + ":" + key))
+	return hex.EncodeToString(h[:8]), nil
+}
+
+// currentState snapshots the job's lifecycle stage.
+func (j *job) currentState() jobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// adopt resolves a compiled submission against the job store: an
+// existing queued/running/done job with the same content key answers
+// the submission (dedupe); a failed one is replaced so the spec can be
+// retried; otherwise a new job is enqueued — unless the queue is full
+// or the service is draining.
+func (s *Server) adopt(kind string, jobs []sweep.Job) (*job, submitOutcome) {
+	id, err := jobID(kind, jobs)
+	if err != nil {
+		// Key derivation only fails on unencodable configs, which
+		// Spec.Jobs already validated; treat as a full queue to stay
+		// safe rather than crash.
+		return nil, submitFull
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.jobs[id]
+	if prev != nil && prev.currentState() != jobFailed {
+		s.counters.deduped.Add(1)
+		return prev, submitDeduped
+	}
+	if s.closed {
+		return nil, submitClosed
+	}
+	if len(s.queue) >= s.queueLimit {
+		return nil, submitFull
+	}
+	j := &job{id: id, kind: kind, jobs: jobs, state: jobQueued, stream: newStream()}
+	j.stream.publish("queued", struct {
+		// ID and Kind identify the job; Cells is its simulation count.
+		ID    string `json:"id"`
+		Kind  string `json:"kind"`
+		Cells int    `json:"cells"`
+	}{j.id, j.kind, len(j.jobs)})
+	s.jobs[id] = j
+	if prev != nil {
+		// Retrying a failed spec replaces its job in the listing; the
+		// old stream already closed with its failure.
+		for i, o := range s.order {
+			if o == prev {
+				s.order[i] = j
+				break
+			}
+		}
+	} else {
+		s.order = append(s.order, j)
+		s.evictLocked()
+	}
+	s.counters.submitted.Add(1)
+	s.counters.queued.Add(1)
+	s.queue <- j // cannot block: len(queue) < queueLimit under s.mu
+	return j, submitNew
+}
+
+// evictLocked drops the oldest terminal jobs once the store exceeds
+// its retention cap, so a long-lived service does not accumulate every
+// outcome ever computed. Queued and running jobs are never evicted
+// (their number is already bounded by the queue and the executors).
+// Called with s.mu held.
+func (s *Server) evictLocked() {
+	for len(s.order) > s.maxJobs {
+		evicted := false
+		for i, j := range s.order {
+			st := j.currentState()
+			if st != jobDone && st != jobFailed {
+				continue
+			}
+			delete(s.jobs, j.id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// executor drains the job queue until Close closes it.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.counters.queued.Add(-1)
+		s.runJob(j)
+	}
+}
+
+// cellEvent is the SSE payload of one resolved cell.
+type cellEvent struct {
+	// Index, Point and Rep identify the resolved job within the sweep.
+	Index int    `json:"index"`
+	Point string `json:"point"`
+	Rep   int    `json:"rep"`
+	// Cached marks cells served without simulating.
+	Cached bool `json:"cached"`
+	// Done and Total are the job's progress counters.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// runJob executes one job on the shared pool, streaming per-cell
+// progress and publishing the terminal event.
+func (s *Server) runJob(j *job) {
+	s.mu.Lock()
+	gate := s.testGate
+	s.mu.Unlock()
+	if gate != nil {
+		gate(j)
+	}
+	j.mu.Lock()
+	j.state = jobRunning
+	j.mu.Unlock()
+	s.counters.running.Add(1)
+	start := time.Now()
+	j.stream.publish("started", struct {
+		// Cells is the number of simulations about to run.
+		Cells int `json:"cells"`
+	}{len(j.jobs)})
+
+	outcome, err := s.pool.RunJobsProgress(j.jobs, func(u sweep.JobUpdate) {
+		j.mu.Lock()
+		j.cellsDone = u.Done
+		if u.Cached {
+			j.cellsCached++
+		}
+		j.mu.Unlock()
+		j.stream.publish("cell", cellEvent{
+			Index: u.Index, Point: u.Point.String(), Rep: u.Rep,
+			Cached: u.Cached, Done: u.Done, Total: u.Total,
+		})
+	})
+
+	s.counters.running.Add(-1)
+	s.counters.busyNanos.Add(int64(time.Since(start)))
+	j.mu.Lock()
+	if err != nil {
+		j.state = jobFailed
+		j.errText = err.Error()
+		j.mu.Unlock()
+		s.counters.failed.Add(1)
+		j.stream.publish("failed", apiError{Error: err.Error()})
+		j.stream.close()
+		return
+	}
+	j.state = jobDone
+	j.outcome = outcome
+	cached := j.cellsCached
+	j.mu.Unlock()
+	s.counters.done.Add(1)
+	s.counters.cellsCached.Add(int64(cached))
+	s.counters.cellsSimulated.Add(int64(len(j.jobs) - cached))
+	j.stream.publish("done", struct {
+		// CellsDone and CellsCached are the final progress counters.
+		CellsDone   int `json:"cells_done"`
+		CellsCached int `json:"cells_cached"`
+	}{len(j.jobs), cached})
+	j.stream.close()
+}
+
+// Close drains the service: no new submissions are accepted (503),
+// already-accepted jobs — queued and running — finish, then the
+// executors exit. The context bounds the wait.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// serveTrace renders the lazy trace.jsonl artifact of a run job: the
+// job's scenario re-simulated once at the base seed with tracing on
+// (packet provenance + state transitions), exported through the sweep
+// trace exporters. Sweep jobs do not carry traces — tracing every grid
+// cell would dwarf the sweep itself.
+func (s *Server) serveTrace(w http.ResponseWriter, j *job) {
+	if j.kind != kindRun {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("trace.jsonl is only available for run jobs (job %s is a %s)", j.id, j.kind))
+		return
+	}
+	j.mu.Lock()
+	runs, err := j.traced, j.tracedErr
+	j.mu.Unlock()
+	if runs == nil && err == nil {
+		// Simulate outside the lock so status polls never block behind
+		// the traced re-run; concurrent first requests may both
+		// simulate, but the result is deterministic, so last-write-wins
+		// is harmless.
+		runs, err = traceRuns(j)
+		j.mu.Lock()
+		j.traced, j.tracedErr = runs, err
+		j.mu.Unlock()
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	sweep.WriteTraceJSONL(w, runs) //nolint:errcheck // streaming to a gone client
+}
+
+// traceRuns executes the traced repetition behind serveTrace.
+func traceRuns(j *job) ([]sweep.TracedRun, error) {
+	cfg := j.jobs[0].Config
+	sc, err := cfg.Scenario(netsim.WithTrace(trace.Options{Packets: true, States: true}))
+	if err != nil {
+		return nil, fmt.Errorf("building traced scenario: %w", err)
+	}
+	res, err := netsim.RunScenario(sc)
+	if err != nil {
+		return nil, fmt.Errorf("traced run: %w", err)
+	}
+	return []sweep.TracedRun{{Label: j.jobs[0].Point.String(), Result: res}}, nil
+}

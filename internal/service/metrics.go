@@ -1,0 +1,62 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// counters are the service's Prometheus-exported counters and gauges.
+// All fields are atomically updated; /metrics renders a consistent-
+// enough snapshot (Prometheus semantics do not require cross-metric
+// atomicity).
+type counters struct {
+	// submitted counts accepted new jobs; deduped counts submissions
+	// answered by an existing job; rejected counts 429 backpressure
+	// responses.
+	submitted, deduped, rejected atomic.Int64
+	// done and failed count terminal jobs.
+	done, failed atomic.Int64
+	// queued and running are live gauges of the job pipeline.
+	queued, running atomic.Int64
+	// cellsSimulated counts simulations actually executed;
+	// cellsCached counts cells served from the cache, an intra-job
+	// duplicate, or another job's in-flight execution.
+	cellsSimulated, cellsCached atomic.Int64
+	// busyNanos accumulates wall-clock time spent executing jobs, the
+	// denominator of the cells-per-second gauge.
+	busyNanos atomic.Int64
+}
+
+// handleMetrics renders the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c := &s.counters
+	emit := func(name, kind, help string, value float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, kind, name, value)
+	}
+	emit("bulktx_jobs_submitted_total", "counter",
+		"Jobs accepted and enqueued.", float64(c.submitted.Load()))
+	emit("bulktx_jobs_deduped_total", "counter",
+		"Submissions answered by an existing job with the same content key.", float64(c.deduped.Load()))
+	emit("bulktx_jobs_rejected_total", "counter",
+		"Submissions rejected with 429 because the queue was full.", float64(c.rejected.Load()))
+	emit("bulktx_jobs_done_total", "counter",
+		"Jobs completed successfully.", float64(c.done.Load()))
+	emit("bulktx_jobs_failed_total", "counter",
+		"Jobs that ended in failure.", float64(c.failed.Load()))
+	emit("bulktx_jobs_queued", "gauge",
+		"Jobs waiting for an executor.", float64(c.queued.Load()))
+	emit("bulktx_jobs_running", "gauge",
+		"Jobs currently executing.", float64(c.running.Load()))
+	emit("bulktx_cells_simulated_total", "counter",
+		"Grid cells actually simulated.", float64(c.cellsSimulated.Load()))
+	emit("bulktx_cells_cached_total", "counter",
+		"Grid cells served from the cache or an in-flight duplicate.", float64(c.cellsCached.Load()))
+	perSec := 0.0
+	if ns := c.busyNanos.Load(); ns > 0 {
+		perSec = float64(c.cellsSimulated.Load()+c.cellsCached.Load()) / (float64(ns) / 1e9)
+	}
+	emit("bulktx_cells_per_sec", "gauge",
+		"Cells resolved per second of job-execution time (cumulative).", perSec)
+}

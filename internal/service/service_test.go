@@ -1,0 +1,628 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bulktx/internal/sweep"
+)
+
+// sweepBody is a fast 2-axis grid used across the tests: 2 models x 2
+// sender counts = 4 cells (one burst, one rep each; the sensor model
+// collapses the burst axis anyway).
+const sweepBody = `{
+	"models": ["sensor", "dual"],
+	"senders": [5, 10],
+	"bursts": [10],
+	"runs": 1,
+	"duration_s": 30,
+	"rate_bps": 2000
+}`
+
+// runBody is a fast single-scenario submission.
+const runBody = `{"model": "sensor", "senders": 5, "duration_s": 30, "rate_bps": 2000}`
+
+// setGate installs the executor test gate under the store lock (the
+// executors read it the same way).
+func setGate(svc *Server, gate func(*job)) {
+	svc.mu.Lock()
+	svc.testGate = gate
+	svc.mu.Unlock()
+}
+
+func newTestService(t *testing.T, o Options) (*Server, *httptest.Server) {
+	t.Helper()
+	svc := New(o)
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Close(ctx) //nolint:errcheck // best-effort teardown
+	})
+	return svc, ts
+}
+
+// postJSON submits body and decodes the JobStatus (or error) response.
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func submit(t *testing.T, url, body string, wantStatus int) JobStatus {
+	t.Helper()
+	resp, data := postJSON(t, url, body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s = %d, want %d; body %s", url, resp.StatusCode, wantStatus, data)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("bad status body %s: %v", data, err)
+	}
+	return st
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// waitDone polls the job until it reaches a terminal state.
+func waitDone(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, data := getBody(t, base+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET job = %d: %s", resp.StatusCode, data)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == string(jobDone) || st.State == string(jobFailed) {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("job did not finish in time")
+	return JobStatus{}
+}
+
+// metricValue extracts one metric's value from the /metrics exposition.
+func metricValue(t *testing.T, base, name string) float64 {
+	t.Helper()
+	resp, data := getBody(t, base+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("bad metric line %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not exposed", name)
+	return 0
+}
+
+func TestSubmitPollArtifactHappyPath(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	st := submit(t, ts.URL+"/v1/sweeps", sweepBody, http.StatusAccepted)
+	if st.ID == "" || st.Kind != "sweep" {
+		t.Fatalf("bad submit status %+v", st)
+	}
+	done := waitDone(t, ts.URL, st.ID)
+	if done.State != "done" {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	if done.CellsDone != done.Cells || done.Cells == 0 {
+		t.Errorf("cells %d/%d", done.CellsDone, done.Cells)
+	}
+
+	// results.csv must be byte-identical to the sweep engine's own
+	// export of the same spec (the bcp-sweep CSV path).
+	resp, got := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/results.csv")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results.csv = %d: %s", resp.StatusCode, got)
+	}
+	spec, err := sweep.ParseSpecJSON([]byte(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := (&sweep.Pool{Cache: sweep.NewCache()}).RunSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := sweep.WriteCSV(&want, out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("results.csv diverges from the sweep engine's export:\n got: %s\nwant: %s", got, want.Bytes())
+	}
+
+	resp, data := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/results.json")
+	if resp.StatusCode != http.StatusOK || !json.Valid(data) {
+		t.Errorf("results.json = %d, valid JSON %v", resp.StatusCode, json.Valid(data))
+	}
+	resp, data = getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/report.md")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "## Goodput") {
+		t.Errorf("report.md = %d: %.80s", resp.StatusCode, data)
+	}
+	// Sweep jobs carry no trace artifact.
+	resp, _ = getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/trace.jsonl")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("sweep trace.jsonl = %d, want 404", resp.StatusCode)
+	}
+	// The job list includes the job.
+	resp, data = getBody(t, ts.URL+"/v1/jobs")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), st.ID) {
+		t.Errorf("job list = %d: %s", resp.StatusCode, data)
+	}
+}
+
+func TestRunJobTraceArtifact(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	st := submit(t, ts.URL+"/v1/runs", runBody, http.StatusAccepted)
+	if st.Kind != "run" || st.Cells != 1 {
+		t.Fatalf("bad run status %+v", st)
+	}
+	if done := waitDone(t, ts.URL, st.ID); done.State != "done" {
+		t.Fatalf("job ended %s: %s", done.State, done.Error)
+	}
+	resp, data := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/trace.jsonl")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace.jsonl = %d: %s", resp.StatusCode, data)
+	}
+	first := data[:bytes.IndexByte(data, '\n')]
+	var rec struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(first, &rec); err != nil || rec.Type != "node-energy" {
+		t.Errorf("first trace record %s (err %v)", first, err)
+	}
+}
+
+func TestIdenticalSpecDedupe(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	first := submit(t, ts.URL+"/v1/sweeps", sweepBody, http.StatusAccepted)
+	waitDone(t, ts.URL, first.ID)
+	simulated := metricValue(t, ts.URL, "bulktx_cells_simulated_total")
+
+	// Same spec, different JSON spelling: answered by the first job.
+	respelled := strings.ReplaceAll(strings.ReplaceAll(sweepBody, "\n", " "), "\t", "")
+	second := submit(t, ts.URL+"/v1/sweeps", respelled, http.StatusOK)
+	if second.ID != first.ID {
+		t.Errorf("dedupe returned job %s, want %s", second.ID, first.ID)
+	}
+	if !second.Deduped {
+		t.Error("deduped submission not flagged")
+	}
+	if v := metricValue(t, ts.URL, "bulktx_jobs_deduped_total"); v != 1 {
+		t.Errorf("jobs_deduped_total = %g, want 1", v)
+	}
+	if v := metricValue(t, ts.URL, "bulktx_cells_simulated_total"); v != simulated {
+		t.Errorf("dedupe re-simulated: %g -> %g", simulated, v)
+	}
+	if v := metricValue(t, ts.URL, "bulktx_jobs_submitted_total"); v != 1 {
+		t.Errorf("jobs_submitted_total = %g, want 1", v)
+	}
+
+	// A different spec is a different job.
+	third := submit(t, ts.URL+"/v1/sweeps",
+		strings.Replace(sweepBody, `"runs": 1`, `"seed": 7`, 1), http.StatusAccepted)
+	if third.ID == first.ID {
+		t.Error("different spec shares the first job's id")
+	}
+}
+
+func TestMalformedSpecs(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	cases := []struct {
+		name, path, body, wantField string
+	}{
+		{"syntax", "/v1/sweeps", `{not json`, ""},
+		{"unknown-field", "/v1/sweeps", `{"bogus": 1}`, ""},
+		{"bad-model", "/v1/sweeps", `{"models": ["zigbee"]}`, "models"},
+		{"bad-case", "/v1/runs", `{"case": "teleport"}`, "case"},
+		{"bad-topology", "/v1/runs", `{"topology": "torus"}`, "topologies"},
+		{"bad-senders", "/v1/runs", `{"senders": 99}`, "Senders"},
+		{"bad-loss", "/v1/runs", `{"sensor_loss": 2.0}`, "SensorLoss"},
+	}
+	for _, tc := range cases {
+		resp, data := postJSON(t, ts.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, data)
+			continue
+		}
+		var e apiError
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: bad error body %s", tc.name, data)
+			continue
+		}
+		if e.Field != tc.wantField {
+			t.Errorf("%s: field %q, want %q (error %q)", tc.name, e.Field, tc.wantField, e.Error)
+		}
+	}
+	// Grids past the cell limit are rejected up front.
+	_, ts2 := newTestService(t, Options{MaxCells: 10})
+	resp, data := postJSON(t, ts2.URL+"/v1/sweeps", `{"senders": [5,6,7,8,9,10], "runs": 2}`)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("over-limit grid: %d (%s)", resp.StatusCode, data)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	svc, ts := newTestService(t, Options{QueueLimit: 1, JobWorkers: 1})
+	entered := make(chan string, 8)
+	release := make(chan struct{})
+	setGate(svc, func(j *job) {
+		entered <- j.id
+		<-release
+	})
+
+	a := submit(t, ts.URL+"/v1/runs", runBody, http.StatusAccepted)
+	select {
+	case <-entered: // the executor holds job A; the queue is empty again
+	case <-time.After(10 * time.Second):
+		t.Fatal("executor never picked job A")
+	}
+	b := submit(t, ts.URL+"/v1/runs",
+		strings.Replace(runBody, `"senders": 5`, `"senders": 6`, 1), http.StatusAccepted)
+
+	// Queue now full: a third distinct spec bounces with Retry-After.
+	resp, data := postJSON(t, ts.URL+"/v1/runs",
+		strings.Replace(runBody, `"senders": 5`, `"senders": 7`, 1))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full queue = %d (%s), want 429", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	// A duplicate of a queued job still dedupes instead of bouncing.
+	dup := submit(t, ts.URL+"/v1/runs", runBody, http.StatusOK)
+	if dup.ID != a.ID || !dup.Deduped {
+		t.Errorf("duplicate during backpressure: %+v", dup)
+	}
+	if v := metricValue(t, ts.URL, "bulktx_jobs_rejected_total"); v != 1 {
+		t.Errorf("jobs_rejected_total = %g, want 1", v)
+	}
+
+	close(release)
+	if st := waitDone(t, ts.URL, a.ID); st.State != "done" {
+		t.Errorf("job A ended %s", st.State)
+	}
+	<-entered // job B enters the gate (already released)
+	if st := waitDone(t, ts.URL, b.ID); st.State != "done" {
+		t.Errorf("job B ended %s", st.State)
+	}
+}
+
+func TestArtifactBeforeCompletion(t *testing.T) {
+	svc, ts := newTestService(t, Options{})
+	release := make(chan struct{})
+	entered := make(chan string, 1)
+	setGate(svc, func(j *job) { entered <- j.id; <-release })
+	st := submit(t, ts.URL+"/v1/runs", runBody, http.StatusAccepted)
+	<-entered
+	resp, data := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/results.csv")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("artifact of running job = %d (%s), want 409", resp.StatusCode, data)
+	}
+	resp, _ = getBody(t, ts.URL+"/v1/jobs/nosuchjob")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job = %d, want 404", resp.StatusCode)
+	}
+	close(release)
+	waitDone(t, ts.URL, st.ID)
+}
+
+// sseEvent is one parsed SSE record.
+type sseEvent struct {
+	id   int
+	name string
+	data map[string]any
+}
+
+// readSSE parses a text/event-stream body until EOF.
+func readSSE(t *testing.T, r io.Reader) []sseEvent {
+	t.Helper()
+	var (
+		out []sseEvent
+		cur sseEvent
+	)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.name != "" {
+				out = append(out, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			id, err := strconv.Atoi(strings.TrimPrefix(line, "id: "))
+			if err != nil {
+				t.Fatalf("bad SSE id line %q", line)
+			}
+			cur.id = id
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// checkEventOrdering asserts the canonical queued -> started -> cell*
+// -> done sequence with strictly increasing ids.
+func checkEventOrdering(t *testing.T, events []sseEvent, wantCells int) {
+	t.Helper()
+	if len(events) < 3 {
+		t.Fatalf("only %d events", len(events))
+	}
+	for i, ev := range events {
+		if ev.id != i+1 {
+			t.Errorf("event %d has id %d", i, ev.id)
+		}
+	}
+	if events[0].name != "queued" || events[1].name != "started" {
+		t.Fatalf("stream starts %s, %s; want queued, started", events[0].name, events[1].name)
+	}
+	cells := 0
+	for _, ev := range events[2 : len(events)-1] {
+		if ev.name != "cell" {
+			t.Errorf("mid-stream event %q, want cell", ev.name)
+			continue
+		}
+		cells++
+		if ev.data["done"].(float64) != float64(cells) {
+			t.Errorf("cell %d carries done=%v", cells, ev.data["done"])
+		}
+	}
+	if cells != wantCells {
+		t.Errorf("cell events = %d, want %d", cells, wantCells)
+	}
+	if last := events[len(events)-1]; last.name != "done" {
+		t.Errorf("terminal event %q, want done", last.name)
+	}
+}
+
+func TestSSEEventOrdering(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	st := submit(t, ts.URL+"/v1/sweeps", sweepBody, http.StatusAccepted)
+
+	// Live subscription: attach immediately, read to stream end.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("Content-Type") != "text/event-stream" {
+		t.Errorf("events content-type %q", resp.Header.Get("Content-Type"))
+	}
+	live := readSSE(t, resp.Body)
+	resp.Body.Close()
+	done := waitDone(t, ts.URL, st.ID)
+	checkEventOrdering(t, live, done.Cells)
+
+	// Late subscription: the full history replays, identically ordered.
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := readSSE(t, resp.Body)
+	resp.Body.Close()
+	checkEventOrdering(t, replay, done.Cells)
+	if len(replay) != len(live) {
+		t.Errorf("replay has %d events, live had %d", len(replay), len(live))
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	svc, ts := newTestService(t, Options{JobWorkers: 1})
+	a := submit(t, ts.URL+"/v1/runs", runBody, http.StatusAccepted)
+	b := submit(t, ts.URL+"/v1/runs",
+		strings.Replace(runBody, `"senders": 5`, `"senders": 6`, 1), http.StatusAccepted)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Accepted jobs finished during the drain.
+	for _, id := range []string{a.ID, b.ID} {
+		if st := waitDone(t, ts.URL, id); st.State != "done" {
+			t.Errorf("job %s ended %s after drain", id, st.State)
+		}
+	}
+	// New submissions bounce; health reports draining.
+	resp, data := postJSON(t, ts.URL+"/v1/runs",
+		strings.Replace(runBody, `"senders": 5`, `"senders": 9`, 1))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit = %d (%s), want 503", resp.StatusCode, data)
+	}
+	resp, data = getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), "draining") {
+		t.Errorf("healthz after drain = %d: %s", resp.StatusCode, data)
+	}
+	// Closing again is idempotent.
+	if err := svc.Close(ctx); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestHealthzAndMetricsShapes(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	resp, data := getBody(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(data, &h); err != nil || h.Status != "ok" {
+		t.Errorf("healthz body %s", data)
+	}
+	for _, name := range []string{
+		"bulktx_jobs_submitted_total", "bulktx_jobs_deduped_total",
+		"bulktx_jobs_rejected_total", "bulktx_jobs_done_total",
+		"bulktx_jobs_failed_total", "bulktx_jobs_queued",
+		"bulktx_jobs_running", "bulktx_cells_simulated_total",
+		"bulktx_cells_cached_total", "bulktx_cells_per_sec",
+	} {
+		metricValue(t, ts.URL, name) // fatal if absent or unparseable
+	}
+}
+
+func TestConcurrentIdenticalSubmissions(t *testing.T) {
+	// Many clients racing the same spec: exactly one job exists
+	// afterwards, everyone gets its id.
+	svc, ts := newTestService(t, Options{})
+	const clients = 8
+	ids := make(chan string, clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			resp, data := postJSON(t, ts.URL+"/v1/sweeps", sweepBody)
+			if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+				t.Errorf("racing submit = %d (%s)", resp.StatusCode, data)
+				ids <- ""
+				return
+			}
+			var st JobStatus
+			if err := json.Unmarshal(data, &st); err != nil {
+				t.Error(err)
+				ids <- ""
+				return
+			}
+			ids <- st.ID
+		}()
+	}
+	first := ""
+	for c := 0; c < clients; c++ {
+		id := <-ids
+		if first == "" {
+			first = id
+		}
+		if id != first {
+			t.Errorf("client got job %s, another got %s", id, first)
+		}
+	}
+	svc.mu.Lock()
+	n := len(svc.jobs)
+	svc.mu.Unlock()
+	if n != 1 {
+		t.Errorf("%d jobs exist, want 1", n)
+	}
+	waitDone(t, ts.URL, first)
+}
+
+func TestFailedSpecIsRetryable(t *testing.T) {
+	svc, ts := newTestService(t, Options{})
+	st := submit(t, ts.URL+"/v1/runs", runBody, http.StatusAccepted)
+	waitDone(t, ts.URL, st.ID)
+
+	// Force the job into the failed state; a resubmission of the same
+	// spec must start a fresh job instead of deduping onto the corpse.
+	svc.mu.Lock()
+	j := svc.jobs[st.ID]
+	svc.mu.Unlock()
+	j.mu.Lock()
+	j.state = jobFailed
+	j.errText = "injected failure"
+	j.outcome = nil
+	j.mu.Unlock()
+
+	again := submit(t, ts.URL+"/v1/runs", runBody, http.StatusAccepted)
+	if again.ID != st.ID {
+		t.Errorf("retry got id %s, want the content key %s", again.ID, st.ID)
+	}
+	if again.Deduped {
+		t.Error("retry of a failed spec was deduped")
+	}
+	if done := waitDone(t, ts.URL, again.ID); done.State != "done" {
+		t.Errorf("retried job ended %s: %s", done.State, done.Error)
+	}
+	// The listing holds one entry for the id, the fresh job.
+	resp, data := getBody(t, ts.URL+"/v1/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("job list = %d", resp.StatusCode)
+	}
+	if n := strings.Count(string(data), st.ID); n != 1 {
+		t.Errorf("job list mentions the id %d times, want 1", n)
+	}
+}
+
+func TestJobStoreEviction(t *testing.T) {
+	_, ts := newTestService(t, Options{MaxJobs: 2})
+	bodies := []string{
+		runBody,
+		strings.Replace(runBody, `"senders": 5`, `"senders": 6`, 1),
+		strings.Replace(runBody, `"senders": 5`, `"senders": 7`, 1),
+	}
+	a := submit(t, ts.URL+"/v1/runs", bodies[0], http.StatusAccepted)
+	b := submit(t, ts.URL+"/v1/runs", bodies[1], http.StatusAccepted)
+	waitDone(t, ts.URL, a.ID)
+	waitDone(t, ts.URL, b.ID)
+
+	// The third distinct submission evicts the oldest terminal job.
+	c := submit(t, ts.URL+"/v1/runs", bodies[2], http.StatusAccepted)
+	resp, _ := getBody(t, ts.URL+"/v1/jobs/"+a.ID)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = getBody(t, ts.URL+"/v1/jobs/"+b.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("retained job = %d, want 200", resp.StatusCode)
+	}
+	if done := waitDone(t, ts.URL, c.ID); done.State != "done" {
+		t.Errorf("new job ended %s", done.State)
+	}
+
+	// Resubmitting the evicted spec starts fresh — and its cell comes
+	// straight from the still-warm result cache.
+	re := submit(t, ts.URL+"/v1/runs", bodies[0], http.StatusAccepted)
+	if re.Deduped {
+		t.Error("evicted spec deduped onto a gone job")
+	}
+	if done := waitDone(t, ts.URL, re.ID); done.CellsCached != done.Cells {
+		t.Errorf("resubmitted evicted spec simulated %d cells instead of hitting the cache",
+			done.Cells-done.CellsCached)
+	}
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// subscriberBuffer is each SSE subscriber's event buffer. A subscriber
+// that falls this far behind the live stream is evicted (its
+// connection ends); reconnecting replays the full history, so nothing
+// is lost — slow clients just cannot stall the executors.
+const subscriberBuffer = 256
+
+// event is one record of a job's SSE stream.
+type event struct {
+	// id is the monotonically increasing SSE id within the stream.
+	id int
+	// name is the SSE event name: queued, started, cell, done, failed.
+	name string
+	// data is the JSON payload.
+	data []byte
+}
+
+// stream is one job's progress feed: an append-only history replayed
+// to every subscriber, plus live fan-out. Publishing never blocks on
+// subscribers.
+type stream struct {
+	mu      sync.Mutex
+	events  []event
+	subs    map[chan event]struct{}
+	closedC bool
+}
+
+// newStream returns an open, empty stream.
+func newStream() *stream {
+	return &stream{subs: make(map[chan event]struct{})}
+}
+
+// publish marshals v, appends it to the history and fans it out.
+// Subscribers whose buffers are full are evicted.
+func (st *stream) publish(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Payloads are service-defined structs; a marshal failure is a
+		// programming error. Encode it visibly instead of panicking an
+		// executor.
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	st.mu.Lock()
+	ev := event{id: len(st.events) + 1, name: name, data: data}
+	st.events = append(st.events, ev)
+	for ch := range st.subs {
+		select {
+		case ch <- ev:
+		default:
+			delete(st.subs, ch)
+			close(ch)
+		}
+	}
+	st.mu.Unlock()
+}
+
+// close ends the stream after the terminal event: live subscribers'
+// channels close, and future subscribers get history only.
+func (st *stream) close() {
+	st.mu.Lock()
+	st.closedC = true
+	for ch := range st.subs {
+		close(ch)
+	}
+	st.subs = make(map[chan event]struct{})
+	st.mu.Unlock()
+}
+
+// subscribe returns the history so far and, for a still-open stream, a
+// live channel (nil when the stream has closed) plus a cancel func.
+func (st *stream) subscribe() (history []event, ch chan event, cancel func()) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	history = append([]event(nil), st.events...)
+	if st.closedC {
+		return history, nil, func() {}
+	}
+	ch = make(chan event, subscriberBuffer)
+	st.subs[ch] = struct{}{}
+	return history, ch, func() {
+		st.mu.Lock()
+		if _, ok := st.subs[ch]; ok {
+			delete(st.subs, ch)
+			close(ch)
+		}
+		st.mu.Unlock()
+	}
+}
+
+// writeSSE renders one event in the text/event-stream framing.
+func writeSSE(w http.ResponseWriter, ev event) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.id, ev.name, ev.data)
+}
+
+// handleJobEvents streams a job's progress as Server-Sent Events. The
+// full history is replayed first (so subscribing to a finished job
+// yields every event, terminated by done/failed), then live events
+// until the job completes or the client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	history, ch, cancel := j.stream.subscribe()
+	defer cancel()
+	for _, ev := range history {
+		writeSSE(w, ev)
+	}
+	flusher.Flush()
+	if ch == nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			writeSSE(w, ev)
+			flusher.Flush()
+		}
+	}
+}

@@ -39,6 +39,24 @@ func Key(cfg netsim.Config) (string, error) {
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// JobsKey derives the content key of a whole compiled job list: a
+// SHA-256 over the cache schema version and every job's configuration
+// key, in job order. Two submissions share a key iff they compile to
+// the same simulations in the same order — the dedupe identity used by
+// the HTTP service to collapse identical spec submissions onto one job.
+func JobsKey(jobs []Job) (string, error) {
+	h := sha256.New()
+	fmt.Fprintf(h, "bulktx-sweep-jobs-v%d:", cacheSchema)
+	for _, job := range jobs {
+		key, err := Key(job.Config)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\n", key)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
 // Cache memoizes run results by content key. The in-memory map is
 // always on; when constructed with NewDiskCache, entries are also
 // persisted as one JSON file per key under the cache directory, so

@@ -9,13 +9,16 @@ import (
 )
 
 // Outcome is an executed sweep: the job list and one result per job,
-// plus how many jobs were served from the cache.
+// plus how many jobs resolved without simulating.
 type Outcome struct {
 	// Jobs is the executed job list in spec order.
 	Jobs []Job
 	// Results holds one result per job, index-aligned with Jobs.
 	Results []netsim.Result
-	// Cached counts how many jobs were served from the result cache.
+	// Cached counts the jobs served without simulating: result-cache
+	// hits, intra-batch duplicates, and adoptions of another Run
+	// call's in-flight execution (it matches the number of JobUpdates
+	// delivered with Cached true).
 	Cached int
 }
 

@@ -12,7 +12,10 @@ import (
 // Pool executes sweep jobs on a fixed-size worker pool. The zero value
 // is usable: runtime.NumCPU workers, no cache, no progress reporting.
 // A Pool is safe for concurrent use; one Run call's jobs never
-// interleave state with another's (netsim runs share nothing).
+// interleave state with another's (netsim runs share nothing), and
+// concurrent Run calls submitting the same configuration collapse onto
+// one in-flight simulation (the later call waits for the earlier one's
+// result instead of re-simulating).
 type Pool struct {
 	// Workers is the concurrency limit; values < 1 select
 	// runtime.NumCPU().
@@ -26,6 +29,39 @@ type Pool struct {
 	// the number of jobs done so far and the total. Calls are
 	// serialized but may come from any worker goroutine.
 	Progress func(done, total int)
+
+	// mu guards inflight, the cross-Run-call dedupe table: content key
+	// -> the flight currently simulating that configuration.
+	mu       sync.Mutex
+	inflight map[string]*flight
+}
+
+// flight is one in-flight simulation of a unique configuration. The
+// worker that claims a key fills res/err and closes done; workers of
+// other Run calls carrying the same key wait on done instead of
+// re-simulating.
+type flight struct {
+	done chan struct{}
+	res  netsim.Result
+	err  error
+}
+
+// JobUpdate describes one resolved job of a Run call, as delivered to
+// the per-job progress hook (RunJobsProgress).
+type JobUpdate struct {
+	// Index is the job's position in the Run call's job list.
+	Index int
+	// Point and Rep identify the job within its sweep grid.
+	Point Point
+	// Rep is the seeded repetition index within the point.
+	Rep int
+	// Cached reports that the job resolved without simulating: a cache
+	// hit, an intra-batch duplicate, or a wait on another Run call's
+	// in-flight execution of the same configuration.
+	Cached bool
+	// Done and Total are the Run call's resolved-job counter after this
+	// job and its total job count.
+	Done, Total int
 }
 
 func (p *Pool) workers() int {
@@ -33,6 +69,33 @@ func (p *Pool) workers() int {
 		return p.Workers
 	}
 	return runtime.NumCPU()
+}
+
+// claim registers interest in simulating key. It returns the flight to
+// fill (owner true) or the flight some other Run call is already
+// filling (owner false).
+func (p *Pool) claim(key string) (f *flight, owner bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.inflight[key]; ok {
+		return f, false
+	}
+	if p.inflight == nil {
+		p.inflight = make(map[string]*flight)
+	}
+	f = &flight{done: make(chan struct{})}
+	p.inflight[key] = f
+	return f, true
+}
+
+// release resolves an owned flight: the result becomes visible to
+// waiters and the key is freed (later arrivals hit the cache instead).
+func (p *Pool) release(key string, f *flight, res netsim.Result, err error) {
+	f.res, f.err = res, err
+	p.mu.Lock()
+	delete(p.inflight, key)
+	p.mu.Unlock()
+	close(f.done)
 }
 
 // Run executes the jobs and returns one result per job, in job order
@@ -43,12 +106,13 @@ func (p *Pool) workers() int {
 // ran (remaining jobs are abandoned, so which jobs ran — and hence
 // which error surfaces — can vary with scheduling).
 func (p *Pool) Run(jobs []Job) ([]netsim.Result, error) {
-	results, _, err := p.run(jobs)
+	results, _, err := p.run(jobs, nil)
 	return results, err
 }
 
-// run is Run plus the number of jobs served from the cache.
-func (p *Pool) run(jobs []Job) ([]netsim.Result, int, error) {
+// run is Run plus the number of jobs resolved without simulating (see
+// Outcome.Cached) and an optional per-job progress hook.
+func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, error) {
 	total := len(jobs)
 	results := make([]netsim.Result, total)
 	if total == 0 {
@@ -58,17 +122,28 @@ func (p *Pool) run(jobs []Job) ([]netsim.Result, int, error) {
 	// Resolve duplicates and cache hits up front. primary maps a
 	// content key to the first job index carrying it; later indices
 	// with the same key become aliases filled in after execution.
+	// cached counts every job resolved without simulating — cache
+	// hits, intra-batch aliases, and adoptions of another Run call's
+	// in-flight execution — matching the Cached flag of the JobUpdates.
 	keys := make([]string, total)
 	primary := make(map[string]int, total)
 	var execIdx []int // indices to actually simulate
-	cached := 0
-	var done int
+	var done, cached int
 	var progressMu sync.Mutex
-	report := func(n int) {
+	notify := func(i int, fromCache bool) {
 		progressMu.Lock()
-		done += n
+		done++
+		if fromCache {
+			cached++
+		}
 		if p.Progress != nil {
 			p.Progress(done, total)
+		}
+		if onJob != nil {
+			onJob(JobUpdate{
+				Index: i, Point: jobs[i].Point, Rep: jobs[i].Rep,
+				Cached: fromCache, Done: done, Total: total,
+			})
 		}
 		progressMu.Unlock()
 	}
@@ -84,7 +159,7 @@ func (p *Pool) run(jobs []Job) ([]netsim.Result, int, error) {
 		primary[key] = i
 		if res, ok := p.Cache.Get(key); ok {
 			results[i] = res
-			cached++
+			notify(i, true)
 			continue
 		}
 		execIdx = append(execIdx, i)
@@ -98,6 +173,14 @@ func (p *Pool) run(jobs []Job) ([]netsim.Result, int, error) {
 		firstEr error
 		wg      sync.WaitGroup
 	)
+	fail := func(i int, err error) {
+		failed.Store(true)
+		errMu.Lock()
+		if errIdx < 0 || i < errIdx {
+			errIdx, firstEr = i, err
+		}
+		errMu.Unlock()
+	}
 	work := make(chan int)
 	workers := p.workers()
 	if workers > len(execIdx) {
@@ -111,27 +194,40 @@ func (p *Pool) run(jobs []Job) ([]netsim.Result, int, error) {
 				if failed.Load() {
 					continue
 				}
-				res, err := netsim.Run(jobs[i].Config)
-				if err != nil {
-					failed.Store(true)
-					errMu.Lock()
-					if errIdx < 0 || i < errIdx {
-						errIdx, firstEr = i, err
+				f, owner := p.claim(keys[i])
+				if !owner {
+					// Another Run call is simulating this exact
+					// configuration; adopt its result instead of
+					// duplicating the work.
+					<-f.done
+					if f.err != nil {
+						fail(i, f.err)
+						continue
 					}
-					errMu.Unlock()
+					results[i] = f.res
+					notify(i, true)
+					continue
+				}
+				// Re-check the cache now that we own the key: another
+				// Run call may have finished (and cached) this
+				// configuration between our pre-scan and this claim.
+				if res, ok := p.Cache.Get(keys[i]); ok {
+					p.release(keys[i], f, res, nil)
+					results[i] = res
+					notify(i, true)
+					continue
+				}
+				res, err := netsim.Run(jobs[i].Config)
+				if err == nil {
+					err = p.Cache.Put(keys[i], res)
+				}
+				p.release(keys[i], f, res, err)
+				if err != nil {
+					fail(i, err)
 					continue
 				}
 				results[i] = res
-				if err := p.Cache.Put(keys[i], res); err != nil {
-					failed.Store(true)
-					errMu.Lock()
-					if errIdx < 0 || i < errIdx {
-						errIdx, firstEr = i, err
-					}
-					errMu.Unlock()
-					continue
-				}
-				report(1)
+				notify(i, false)
 			}
 		}()
 	}
@@ -145,16 +241,12 @@ func (p *Pool) run(jobs []Job) ([]netsim.Result, int, error) {
 			errIdx, jobs[errIdx].Point, jobs[errIdx].Rep, firstEr)
 	}
 
-	// Fan primaries out to their aliases and account cached jobs.
-	fanned := 0
+	// Fan primaries out to their aliases.
 	for i := range jobs {
 		if pi := primary[keys[i]]; pi != i {
 			results[i] = results[pi]
-			fanned++
+			notify(i, true)
 		}
-	}
-	if n := cached + fanned; n > 0 {
-		report(n)
 	}
 	return results, cached, nil
 }
@@ -172,7 +264,17 @@ func (p *Pool) RunSpec(spec Spec) (*Outcome, error) {
 // RunJobs executes an explicit job list (e.g. several specs' jobs
 // concatenated into one batch) and returns the grouped outcome.
 func (p *Pool) RunJobs(jobs []Job) (*Outcome, error) {
-	results, cached, err := p.run(jobs)
+	return p.RunJobsProgress(jobs, nil)
+}
+
+// RunJobsProgress executes an explicit job list like RunJobs,
+// additionally delivering one JobUpdate per resolved job to onJob (when
+// non-nil). Calls are serialized but may come from any worker
+// goroutine; Done strictly increments from 1 to len(jobs). This is the
+// progress feed behind streaming consumers such as the HTTP service's
+// per-cell SSE events.
+func (p *Pool) RunJobsProgress(jobs []Job, onJob func(JobUpdate)) (*Outcome, error) {
+	results, cached, err := p.run(jobs, onJob)
 	if err != nil {
 		return nil, err
 	}

@@ -92,7 +92,15 @@ func ParseTraffic(name string) (netsim.Traffic, error) {
 	}
 }
 
-// Spec materializes the document into an executable Spec.
+// fieldErr builds a spec-document failure annotated (via
+// netsim.FieldError, extractable with errors.As) with the JSON field
+// that carries the offending value.
+func fieldErr(field, format string, a ...any) error {
+	return fmt.Errorf("sweep: %w", &netsim.FieldError{Field: field, Reason: fmt.Sprintf(format, a...)})
+}
+
+// Spec materializes the document into an executable Spec. Failures
+// carry the offending JSON field name as a netsim.FieldError.
 func (d SpecDoc) Spec() (Spec, error) {
 	senders := d.Senders
 	if len(senders) == 0 {
@@ -110,7 +118,7 @@ func (d SpecDoc) Spec() (Spec, error) {
 	case "mh", "multi-hop":
 		base = netsim.MultiHopConfig(senders[0], bursts[0], d.Seed)
 	default:
-		return Spec{}, fmt.Errorf("sweep: unknown case %q (want single-hop or multi-hop)", d.Case)
+		return Spec{}, fieldErr("case", "unknown case %q (want single-hop or multi-hop)", d.Case)
 	}
 	if d.RateBps > 0 {
 		base.Rate = units.BitRate(d.RateBps)
@@ -147,21 +155,21 @@ func (d SpecDoc) Spec() (Spec, error) {
 			known = known || name == k
 		}
 		if !known {
-			return Spec{}, fmt.Errorf("sweep: unknown topology %q (want one of %v)",
+			return Spec{}, fieldErr("topologies", "unknown topology %q (want one of %v)",
 				name, netsim.TopologyKinds())
 		}
 	}
 	for _, name := range d.Models {
 		m, err := ParseModel(name)
 		if err != nil {
-			return Spec{}, err
+			return Spec{}, fieldErr("models", "unknown model %q (want dual, sensor or 802.11)", name)
 		}
 		spec.Models = append(spec.Models, m)
 	}
 	for _, name := range d.Traffics {
 		tr, err := ParseTraffic(name)
 		if err != nil {
-			return Spec{}, err
+			return Spec{}, fieldErr("traffics", "unknown traffic model %q (want cbr, poisson or onoff)", name)
 		}
 		spec.Traffics = append(spec.Traffics, tr)
 	}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -198,5 +199,50 @@ func TestCacheKeyBackwardCompatible(t *testing.T) {
 	}
 	if k4 == key {
 		t.Error("topology not part of the content key")
+	}
+}
+
+func TestSpecErrorsNameOffendingField(t *testing.T) {
+	cases := []struct {
+		doc   string
+		field string
+	}{
+		{`{"case": "teleport"}`, "case"},
+		{`{"models": ["zigbee"]}`, "models"},
+		{`{"traffics": ["fractal"]}`, "traffics"},
+		{`{"topologies": ["torus"]}`, "topologies"},
+	}
+	for _, tc := range cases {
+		_, err := ParseSpecJSON([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.doc)
+			continue
+		}
+		var fe *netsim.FieldError
+		if !errors.As(err, &fe) {
+			t.Errorf("%s: error %v is not a FieldError", tc.doc, err)
+			continue
+		}
+		if fe.Field != tc.field {
+			t.Errorf("%s: error names field %q, want %q", tc.doc, fe.Field, tc.field)
+		}
+	}
+
+	// Negative runs surface through Spec.Jobs with the "runs" field.
+	spec := testSpec()
+	spec.Runs = -2
+	_, err := spec.Jobs()
+	var fe *netsim.FieldError
+	if !errors.As(err, &fe) || fe.Field != "runs" {
+		t.Errorf("negative runs error %v does not name the runs field", err)
+	}
+
+	// Config-level failures keep their Config field names through job
+	// compilation.
+	spec = testSpec()
+	spec.Senders = []int{0}
+	_, err = spec.Jobs()
+	if !errors.As(err, &fe) || fe.Field != "Senders" {
+		t.Errorf("invalid senders error %v does not name the Senders field", err)
 	}
 }

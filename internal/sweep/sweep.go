@@ -143,7 +143,7 @@ func (s Spec) axes() (models []netsim.Model, senders, bursts []int, traffics []n
 // validated.
 func (s Spec) Jobs() ([]Job, error) {
 	if s.Runs < 0 {
-		return nil, fmt.Errorf("sweep: negative runs %d", s.Runs)
+		return nil, fieldErr("runs", "negative runs %d", s.Runs)
 	}
 	models, senders, bursts, traffics, topologies, churns, runs := s.axes()
 	var jobs []Job

@@ -6,14 +6,17 @@
 //	go run ./internal/tools/doccheck ./...
 //
 // It walks the named packages (pattern "./..." from the module root),
-// skipping test files and package main (commands and examples document
-// themselves through their package comments). An exported identifier
-// is documented if it carries its own doc comment or sits inside a
-// documented const/var/type block. Exported fields of exported structs
-// are checked too, honoring the repository's grouping idiom: one doc
+// skipping test files. An exported identifier is documented if it
+// carries its own doc comment or sits inside a documented
+// const/var/type block. Exported fields of exported structs are
+// checked too, honoring the repository's grouping idiom: one doc
 // comment covers the documented field plus the line-adjacent fields
-// immediately below it. Each violation is reported as file:line, and
-// any violation makes the exit status non-zero.
+// immediately below it. Declarations inside package main are exempt
+// (commands and examples export nothing), but every main package —
+// each cmd/ binary, each example — must document itself through a
+// package comment on at least one of its files. Each violation is
+// reported as file:line, and any violation makes the exit status
+// non-zero.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -46,9 +50,15 @@ func main() {
 }
 
 // check parses every non-test Go file under root and returns one
-// "file:line: message" string per undocumented exported identifier.
+// "file:line: message" string per undocumented exported identifier or
+// undocumented main package.
 func check(root string) ([]string, error) {
 	var violations []string
+	// mainDocs tracks, per main-package directory, whether any file
+	// carries a package doc comment; mainFirst remembers a
+	// representative file to report against.
+	mainDocs := make(map[string]bool)
+	mainFirst := make(map[string]string)
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -69,12 +79,31 @@ func check(root string) ([]string, error) {
 			return err
 		}
 		if file.Name.Name == "main" {
+			// Commands and examples export nothing; their contract is a
+			// package comment describing usage.
+			dir := filepath.Dir(path)
+			if _, seen := mainFirst[dir]; !seen {
+				mainFirst[dir] = path
+			}
+			if file.Doc != nil {
+				mainDocs[dir] = true
+			}
 			return nil
 		}
 		violations = append(violations, checkFile(fset, path, file)...)
 		return nil
 	})
-	return violations, err
+	if err != nil {
+		return violations, err
+	}
+	var mains []string
+	for dir := range mainFirst {
+		if !mainDocs[dir] {
+			mains = append(mains, fmt.Sprintf("%s:1: main package %s has no package doc comment", mainFirst[dir], dir))
+		}
+	}
+	sort.Strings(mains)
+	return append(violations, mains...), nil
 }
 
 // checkFile inspects one parsed file's top-level declarations.

@@ -1,0 +1,117 @@
+// Command linkcheck fails when relative markdown links are broken —
+// the CI docs gate that keeps README/docs/examples cross-references
+// resolving as files move.
+//
+// Usage:
+//
+//	go run ./internal/tools/linkcheck
+//
+// It walks every .md file under the current directory (skipping
+// hidden directories, testdata and vendor), extracts inline links
+// ([text](target)) and checks that each relative target — after
+// stripping any #fragment — exists on disk, resolved against the
+// linking file's directory. Absolute URLs (http, https, mailto) and
+// pure-fragment links are ignored. Each broken link is reported as
+// file:line, and any broken link makes the exit status non-zero.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkPattern matches inline markdown links and images. The target
+// group stops at whitespace or ')' so optional link titles are not
+// swallowed.
+var linkPattern = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	broken, err := check(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(2)
+	}
+	for _, b := range broken {
+		fmt.Println(b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken relative links\n", len(broken))
+		os.Exit(1)
+	}
+}
+
+// check walks root for markdown files and returns one "file:line:
+// message" string per broken relative link.
+func check(root string) ([]string, error) {
+	var broken []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(strings.ToLower(path), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		broken = append(broken, checkFile(path, string(data))...)
+		return nil
+	})
+	return broken, err
+}
+
+// checkFile scans one markdown document line by line, so reports carry
+// line numbers. Fenced code blocks are skipped: they hold example
+// output, not navigable links.
+func checkFile(path, content string) []string {
+	var out []string
+	dir := filepath.Dir(path)
+	inFence := false
+	for i, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkPattern.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if skipTarget(target) {
+				continue
+			}
+			if frag := strings.IndexByte(target, '#'); frag >= 0 {
+				target = target[:frag]
+				if target == "" {
+					continue // same-document fragment
+				}
+			}
+			if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+				out = append(out, fmt.Sprintf("%s:%d: broken link %q", path, i+1, m[1]))
+			}
+		}
+	}
+	return out
+}
+
+// skipTarget reports whether a link target is out of scope: absolute
+// URLs and non-file schemes.
+func skipTarget(target string) bool {
+	for _, prefix := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(target, prefix) {
+			return true
+		}
+	}
+	return false
+}
