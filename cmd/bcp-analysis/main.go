@@ -13,12 +13,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"bulktx"
 	"bulktx/internal/analysis"
 	"bulktx/internal/cli"
 	"bulktx/internal/energy"
+	"bulktx/internal/telemetry"
 )
 
 func main() {
@@ -32,8 +34,12 @@ func run() error {
 		idle     = flag.Duration("idle", 0, "high-power idle time per transfer")
 		fp       = flag.Int("fp", 1, "forward progress in sensor hops")
 		artifact = flag.String("artifact", "", "print one analytic artifact: table1|fig1|fig2|fig3|fig4")
+		tel      = telemetry.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if tel.HandleVersion(os.Stdout, "bcp-analysis") {
+		return nil
+	}
 
 	if *artifact != "" {
 		tbl, err := bulktx.RunExperiment(*artifact, bulktx.QuickScale())

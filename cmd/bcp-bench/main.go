@@ -17,6 +17,12 @@
 // (default 25%) — the CI guard against performance rot:
 //
 //	bcp-bench -compare BENCH_PR2.json -benchtime 1s
+//
+// The -cpuprofile/-memprofile flags capture pprof profiles of the
+// measured benchmarks, for digging into where a regression flagged by
+// the gate actually comes from:
+//
+//	bcp-bench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -30,6 +36,7 @@ import (
 
 	"bulktx/internal/bench"
 	"bulktx/internal/cli"
+	"bulktx/internal/telemetry"
 )
 
 // report is the serialized form of one bcp-bench run.
@@ -57,7 +64,13 @@ func main() {
 	benchtime := flag.Duration("benchtime", time.Second, "per-benchmark measurement time")
 	compare := flag.String("compare", "", "baseline JSON: compare throughput instead of writing a report")
 	maxRegress := flag.Float64("max-regress", 0.25, "allowed fractional events/s regression under -compare")
+	cpuProf := flag.String("cpuprofile", "", "write a CPU profile of the benchmarks to this file")
+	memProf := flag.String("memprofile", "", "write a heap profile after the benchmarks to this file")
+	tel := telemetry.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if tel.HandleVersion(os.Stdout, "bcp-bench") {
+		return
+	}
 
 	// testing.Benchmark reads the package-level benchtime flag.
 	if err := flag.Set("test.benchtime", benchtime.String()); err != nil {
@@ -65,8 +78,33 @@ func main() {
 		os.Exit(1)
 	}
 
+	stopCPU := func() error { return nil }
+	if *cpuProf != "" {
+		var err error
+		if stopCPU, err = telemetry.StartCPUProfile(*cpuProf); err != nil {
+			fmt.Fprintf(os.Stderr, "bcp-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// finishProfiles flushes both profiles once the measured work is
+	// done; every exit path below that ran benchmarks goes through it.
+	finishProfiles := func() {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintf(os.Stderr, "bcp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if *memProf != "" {
+			if err := telemetry.WriteHeapProfile(*memProf); err != nil {
+				fmt.Fprintf(os.Stderr, "bcp-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+
 	if *compare != "" {
-		if err := compareThroughput(*compare, *maxRegress); err != nil {
+		err := compareThroughput(*compare, *maxRegress)
+		finishProfiles()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "bcp-bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -104,6 +142,7 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, line)
 		fmt.Fprintf(os.Stderr, "  %s\t%s\n", b.name, r.String())
 	}
+	finishProfiles()
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

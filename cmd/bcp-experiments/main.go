@@ -16,10 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"bulktx"
 	"bulktx/internal/cli"
+	"bulktx/internal/telemetry"
 )
 
 func main() {
@@ -33,8 +35,12 @@ func run() error {
 		scale    = flag.String("scale", "quick", "simulation scale: quick|full")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = all cores)")
 		cacheDir = flag.String("cache-dir", "", "on-disk sweep result cache (empty = in-memory only)")
+		tel      = telemetry.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if tel.HandleVersion(os.Stdout, "bcp-experiments") {
+		return nil
+	}
 
 	var cache *bulktx.SweepCache
 	if *cacheDir != "" {

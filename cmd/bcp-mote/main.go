@@ -16,6 +16,7 @@ import (
 
 	"bulktx"
 	"bulktx/internal/cli"
+	"bulktx/internal/telemetry"
 )
 
 func main() {
@@ -29,8 +30,12 @@ func run() error {
 		interval  = flag.Duration("interval", 100*time.Millisecond, "generation interval")
 		sweep     = flag.Bool("sweep", false, "sweep thresholds 500-5000 B (Figures 11-12)")
 		tracePath = flag.String("trace", "", "write the radio event log as JSON lines to this file")
+		tel       = telemetry.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if tel.HandleVersion(os.Stdout, "bcp-mote") {
+		return nil
+	}
 
 	if *sweep {
 		for _, name := range []string{"fig11", "fig12"} {

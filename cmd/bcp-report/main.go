@@ -27,6 +27,7 @@ import (
 	"bulktx/internal/experiments"
 	"bulktx/internal/report"
 	"bulktx/internal/sweep"
+	"bulktx/internal/telemetry"
 )
 
 func main() {
@@ -45,8 +46,12 @@ func run() error {
 		jsonlPath = flag.String("trace-jsonl", "", "also export the traced breakdown runs as JSONL")
 		energyCSV = flag.String("trace-energy-csv", "", "also export per-node energy breakdowns as CSV")
 		eventsCSV = flag.String("trace-events-csv", "", "also export trace events as CSV")
+		tel       = telemetry.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if tel.HandleVersion(os.Stdout, "bcp-report") {
+		return nil
+	}
 
 	var cache *bulktx.SweepCache
 	if *cacheDir != "" {

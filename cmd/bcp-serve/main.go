@@ -11,18 +11,24 @@
 //	bcp-serve -addr 127.0.0.1:9090 -workers 8
 //	bcp-serve -cache-dir ~/.cache/bulktx-sweep  # results survive restarts
 //	bcp-serve -queue 16 -job-workers 2
+//	bcp-serve -log-format json -log-level debug
+//	bcp-serve -pprof 127.0.0.1:6060             # profiling on a separate listener
 //
 // Identical submissions collapse onto one job (content-keyed dedupe);
-// a full job queue answers 429 with Retry-After. On SIGINT/SIGTERM the
-// service drains gracefully: accepted jobs finish (bounded by
-// -drain-timeout), new submissions get 503, then the process exits 0.
+// a full job queue answers 429 with Retry-After. Every request gets
+// one structured access-log line on stderr, keyed by a propagated or
+// generated X-Request-ID. The -pprof flag serves net/http/pprof on
+// its own mux and listener, so the profiling surface never appears on
+// the public address. On SIGINT/SIGTERM the service drains
+// gracefully: accepted jobs finish (bounded by -drain-timeout), new
+// submissions get 503, then the process exits 0.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +39,7 @@ import (
 	"bulktx/internal/cli"
 	"bulktx/internal/service"
 	"bulktx/internal/sweep"
+	"bulktx/internal/telemetry"
 )
 
 func main() {
@@ -41,7 +48,7 @@ func main() {
 
 // buildService assembles the service from the command line; split out
 // so the end-to-end tests drive exactly the wiring the binary runs.
-func buildService(workers int, cacheDir string, queue, jobWorkers, maxCells, maxJobs int) (*service.Server, error) {
+func buildService(workers int, cacheDir string, queue, jobWorkers, maxCells, maxJobs int, log *slog.Logger) (*service.Server, error) {
 	var cache *sweep.Cache
 	if cacheDir != "" {
 		var err error
@@ -56,6 +63,7 @@ func buildService(workers int, cacheDir string, queue, jobWorkers, maxCells, max
 		JobWorkers: jobWorkers,
 		MaxCells:   maxCells,
 		MaxJobs:    maxJobs,
+		Logger:     log,
 	}), nil
 }
 
@@ -69,10 +77,19 @@ func run() error {
 		maxCells   = flag.Int("max-cells", service.DefaultMaxCells, "max simulations one submission may compile to")
 		maxJobs    = flag.Int("max-jobs", service.DefaultMaxJobs, "terminal jobs retained before the oldest are evicted")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "max wait for accepted jobs on shutdown")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = off; keep it loopback)")
+		tel        = telemetry.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if tel.HandleVersion(os.Stdout, "bcp-serve") {
+		return nil
+	}
+	log, err := tel.Logger(os.Stderr)
+	if err != nil {
+		return cli.Usage(err)
+	}
 
-	svc, err := buildService(*workers, *cacheDir, *queue, *jobWorkers, *maxCells, *maxJobs)
+	svc, err := buildService(*workers, *cacheDir, *queue, *jobWorkers, *maxCells, *maxJobs, log)
 	if err != nil {
 		return err
 	}
@@ -81,7 +98,20 @@ func run() error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: svc}
-	fmt.Fprintf(os.Stderr, "bcp-serve: listening on http://%s\n", ln.Addr())
+	log.Info("listening", "addr", "http://"+ln.Addr().String(), "build", telemetry.BuildInfo().String())
+
+	// The profiling surface lives on its own mux and listener: the
+	// public mux never routes /debug/pprof/, with or without -pprof.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return err
+		}
+		pprofSrv = &http.Server{Handler: telemetry.PprofMux()}
+		go pprofSrv.Serve(pln) //nolint:errcheck // best-effort sidecar; main serve errors decide exit
+		log.Info("pprof listening", "addr", "http://"+pln.Addr().String()+"/debug/pprof/")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -94,7 +124,7 @@ func run() error {
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately instead of draining
-	fmt.Fprintln(os.Stderr, "bcp-serve: draining (new submissions get 503)...")
+	log.Info("draining", "note", "new submissions get 503", "timeout", drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := svc.Close(drainCtx); err != nil {
@@ -103,9 +133,12 @@ func run() error {
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
 		return err
 	}
+	if pprofSrv != nil {
+		pprofSrv.Close() //nolint:errcheck // profiling sidecar; nothing to drain
+	}
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "bcp-serve: drained, exiting")
+	log.Info("drained, exiting")
 	return nil
 }

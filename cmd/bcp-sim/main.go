@@ -23,6 +23,7 @@ import (
 	"bulktx"
 	"bulktx/internal/cli"
 	"bulktx/internal/netsim"
+	"bulktx/internal/telemetry"
 )
 
 func main() {
@@ -57,6 +58,8 @@ type options struct {
 	traceJSONL     string
 	traceEventsCSV string
 	traceEnergyCSV string
+
+	tel *telemetry.Flags
 }
 
 // wantTrace reports whether any flag requests a traced run.
@@ -92,6 +95,7 @@ func parseFlags(fs *flag.FlagSet, args []string) (options, error) {
 	fs.StringVar(&o.traceJSONL, "trace-jsonl", "", "export the traced run as JSON lines (implies -trace)")
 	fs.StringVar(&o.traceEventsCSV, "trace-events-csv", "", "export the traced run's events as CSV (implies -trace)")
 	fs.StringVar(&o.traceEnergyCSV, "trace-energy-csv", "", "export the traced run's per-node energy breakdown as CSV (implies -trace)")
+	o.tel = telemetry.RegisterFlags(fs)
 	if err := cli.Parse(fs, args); err != nil {
 		return options{}, err
 	}
@@ -169,6 +173,9 @@ func run(args []string) error {
 	o, err := parseFlags(flag.NewFlagSet("bcp-sim", flag.ContinueOnError), args)
 	if err != nil {
 		return err
+	}
+	if o.tel.HandleVersion(os.Stdout, "bcp-sim") {
+		return nil
 	}
 	cfg, err := buildConfig(o)
 	if err != nil {

@@ -7,6 +7,7 @@
 //	bcp-sweep -models dual,sensor,802.11 -runs 5 -format csv
 //	bcp-sweep -case multi-hop -duration 600s -format json -o mh.json
 //	bcp-sweep -spec sweep.json -cache-dir ~/.cache/bulktx-sweep
+//	bcp-sweep -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // A spec file (-spec) is a JSON document in the sweep.SpecDoc shape;
 // flags for axes are ignored when -spec is given. The cache directory
@@ -26,6 +27,7 @@ import (
 
 	"bulktx/internal/cli"
 	"bulktx/internal/sweep"
+	"bulktx/internal/telemetry"
 )
 
 func main() {
@@ -49,8 +51,14 @@ func run() error {
 		format   = flag.String("format", "table", "output format: table|json|csv")
 		outFile  = flag.String("o", "", "output file (empty = stdout)")
 		progress = flag.Bool("progress", true, "report per-job progress on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the sweep to this file")
+		tel      = telemetry.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
+	if tel.HandleVersion(os.Stdout, "bcp-sweep") {
+		return nil
+	}
 
 	switch *format {
 	case "table", "json", "csv":
@@ -109,10 +117,26 @@ func run() error {
 		}
 	}
 
+	stopCPU := func() error { return nil }
+	if *cpuProf != "" {
+		var err error
+		if stopCPU, err = telemetry.StartCPUProfile(*cpuProf); err != nil {
+			return err
+		}
+	}
+
 	start := time.Now()
 	out, err := pool.RunSpec(spec)
+	if stopErr := stopCPU(); err == nil {
+		err = stopErr
+	}
 	if err != nil {
 		return err
+	}
+	if *memProf != "" {
+		if err := telemetry.WriteHeapProfile(*memProf); err != nil {
+			return err
+		}
 	}
 	if *progress {
 		fmt.Fprintf(os.Stderr, "bcp-sweep: %d jobs (%d cached) in %v\n",

@@ -162,6 +162,11 @@ func TestAPIDocCoversEveryRoute(t *testing.T) {
 		"bulktx_jobs_failed_total", "bulktx_jobs_queued",
 		"bulktx_jobs_running", "bulktx_cells_simulated_total",
 		"bulktx_cells_cached_total", "bulktx_cells_per_sec",
+		"bulktx_build_info",
+		"bulktx_http_request_duration_seconds",
+		"bulktx_job_queue_wait_seconds",
+		"bulktx_job_execution_seconds",
+		"bulktx_cell_simulation_seconds",
 	} {
 		if !strings.Contains(string(doc), name) {
 			t.Errorf("metric %q undocumented in docs/API.md", name)

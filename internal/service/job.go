@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -41,8 +42,14 @@ type job struct {
 	jobs   []sweep.Job
 	stream *stream
 
+	// submittedAt is stamped once at acceptance and never mutated, so
+	// it is readable without the lock.
+	submittedAt time.Time
+
 	mu          sync.Mutex
 	state       jobState
+	startedAt   time.Time // execution start (zero while queued)
+	finishedAt  time.Time // terminal transition (zero until done/failed)
 	errText     string
 	outcome     *sweep.Outcome
 	cellsDone   int
@@ -74,6 +81,46 @@ type JobStatus struct {
 	// Artifacts lists the downloadable artifact names of a completed
 	// job.
 	Artifacts []string `json:"artifacts,omitempty"`
+	// Timings is the job's wall-clock phase breakdown, growing as the
+	// job advances through its lifecycle.
+	Timings *JobTimings `json:"timings,omitempty"`
+}
+
+// JobTimings attributes a job's wall-clock to its lifecycle phases,
+// so a slow sweep is diagnosable as queueing vs. execution without
+// scraping histograms: submitted→started is time spent waiting for an
+// executor, started→finished is time spent simulating (and exporting).
+type JobTimings struct {
+	// SubmittedAt is when the service accepted the job.
+	SubmittedAt time.Time `json:"submitted_at"`
+	// StartedAt is when an executor picked the job up; absent while
+	// the job is queued.
+	StartedAt *time.Time `json:"started_at,omitempty"`
+	// FinishedAt is when the job reached done or failed; absent
+	// before that.
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+	// QueueWaitS is StartedAt-SubmittedAt in seconds, present once
+	// the job started.
+	QueueWaitS float64 `json:"queue_wait_s,omitempty"`
+	// ExecutionS is FinishedAt-StartedAt in seconds, present once the
+	// job finished.
+	ExecutionS float64 `json:"execution_s,omitempty"`
+}
+
+// timingsLocked snapshots the phase breakdown; j.mu must be held.
+func (j *job) timingsLocked() *JobTimings {
+	t := &JobTimings{SubmittedAt: j.submittedAt}
+	if !j.startedAt.IsZero() {
+		started := j.startedAt
+		t.StartedAt = &started
+		t.QueueWaitS = started.Sub(j.submittedAt).Seconds()
+	}
+	if !j.finishedAt.IsZero() {
+		finished := j.finishedAt
+		t.FinishedAt = &finished
+		t.ExecutionS = finished.Sub(j.startedAt).Seconds()
+	}
+	return t
 }
 
 // status snapshots the job for serialization.
@@ -83,6 +130,7 @@ func (j *job) status() JobStatus {
 	st := JobStatus{
 		ID: j.id, Kind: j.kind, State: string(j.state), Error: j.errText,
 		Cells: len(j.jobs), CellsDone: j.cellsDone, CellsCached: j.cellsCached,
+		Timings: j.timingsLocked(),
 	}
 	if j.state == jobDone {
 		st.Artifacts = []string{"results.json", "results.csv", "report.md"}
@@ -103,6 +151,8 @@ type Server struct {
 	maxCells   int
 	maxJobs    int
 	retryAfter time.Duration
+	log        *slog.Logger
+	hist       *histograms
 
 	mu     sync.Mutex
 	closed bool
@@ -175,7 +225,7 @@ func (s *Server) adopt(kind string, jobs []sweep.Job) (*job, submitOutcome) {
 	if len(s.queue) >= s.queueLimit {
 		return nil, submitFull
 	}
-	j := &job{id: id, kind: kind, jobs: jobs, state: jobQueued, stream: newStream()}
+	j := &job{id: id, kind: kind, jobs: jobs, state: jobQueued, stream: newStream(), submittedAt: time.Now()}
 	j.stream.publish("queued", struct {
 		// ID and Kind identify the job; Cells is its simulation count.
 		ID    string `json:"id"`
@@ -199,6 +249,7 @@ func (s *Server) adopt(kind string, jobs []sweep.Job) (*job, submitOutcome) {
 	s.counters.submitted.Add(1)
 	s.counters.queued.Add(1)
 	s.queue <- j // cannot block: len(queue) < queueLimit under s.mu
+	s.log.Info("job queued", "job", j.id, "kind", j.kind, "cells", len(j.jobs))
 	return j, submitNew
 }
 
@@ -243,6 +294,9 @@ type cellEvent struct {
 	Rep   int    `json:"rep"`
 	// Cached marks cells served without simulating.
 	Cached bool `json:"cached"`
+	// DurationS is the cell's simulation wall-clock in seconds; 0 for
+	// cached cells, which never simulate.
+	DurationS float64 `json:"duration_s"`
 	// Done and Total are the job's progress counters.
 	Done  int `json:"done"`
 	Total int `json:"total"`
@@ -257,17 +311,25 @@ func (s *Server) runJob(j *job) {
 	if gate != nil {
 		gate(j)
 	}
+	start := time.Now()
 	j.mu.Lock()
 	j.state = jobRunning
+	j.startedAt = start
 	j.mu.Unlock()
+	queueWait := start.Sub(j.submittedAt)
+	s.hist.queueWait.ObserveDuration(queueWait)
 	s.counters.running.Add(1)
-	start := time.Now()
+	s.log.Info("job running", "job", j.id, "kind", j.kind,
+		"cells", len(j.jobs), "queue_wait_s", queueWait.Seconds())
 	j.stream.publish("started", struct {
 		// Cells is the number of simulations about to run.
 		Cells int `json:"cells"`
 	}{len(j.jobs)})
 
 	outcome, err := s.pool.RunJobsProgress(j.jobs, func(u sweep.JobUpdate) {
+		if !u.Cached {
+			s.hist.cellSim.ObserveDuration(u.Duration)
+		}
 		j.mu.Lock()
 		j.cellsDone = u.Done
 		if u.Cached {
@@ -276,18 +338,25 @@ func (s *Server) runJob(j *job) {
 		j.mu.Unlock()
 		j.stream.publish("cell", cellEvent{
 			Index: u.Index, Point: u.Point.String(), Rep: u.Rep,
-			Cached: u.Cached, Done: u.Done, Total: u.Total,
+			Cached: u.Cached, DurationS: u.Duration.Seconds(),
+			Done: u.Done, Total: u.Total,
 		})
 	})
 
 	s.counters.running.Add(-1)
-	s.counters.busyNanos.Add(int64(time.Since(start)))
+	finished := time.Now()
+	execution := finished.Sub(start)
+	s.counters.busyNanos.Add(int64(execution))
+	s.hist.execution.ObserveDuration(execution)
 	j.mu.Lock()
+	j.finishedAt = finished
 	if err != nil {
 		j.state = jobFailed
 		j.errText = err.Error()
 		j.mu.Unlock()
 		s.counters.failed.Add(1)
+		s.log.Error("job failed", "job", j.id, "kind", j.kind,
+			"execution_s", execution.Seconds(), "error", err.Error())
 		j.stream.publish("failed", apiError{Error: err.Error()})
 		j.stream.close()
 		return
@@ -297,6 +366,9 @@ func (s *Server) runJob(j *job) {
 	cached := j.cellsCached
 	j.mu.Unlock()
 	s.counters.done.Add(1)
+	s.log.Info("job done", "job", j.id, "kind", j.kind,
+		"execution_s", execution.Seconds(),
+		"cells", len(j.jobs), "cells_cached", cached)
 	s.counters.cellsCached.Add(int64(cached))
 	s.counters.cellsSimulated.Add(int64(len(j.jobs) - cached))
 	j.stream.publish("done", struct {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+
+	"bulktx/internal/telemetry"
 )
 
 // counters are the service's Prometheus-exported counters and gauges.
@@ -28,13 +30,56 @@ type counters struct {
 	busyNanos atomic.Int64
 }
 
-// handleMetrics renders the Prometheus text exposition format.
+// Latency bucket layouts, in seconds. Request buckets start sub-ms
+// (status polls are in-memory map reads); phase buckets stretch to 10
+// minutes (queue waits and sweep executions are as long as the grid);
+// cell buckets start at 100us (a quick-scale cell simulates in well
+// under a millisecond).
+var (
+	httpDurationBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60}
+	jobPhaseBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+		1, 5, 10, 30, 60, 300, 600}
+	cellDurationBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+		0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+)
+
+// histograms are the service's latency histogram families — the
+// regression-gate source of truth for where time goes, replacing the
+// single cells-per-second gauge as the primary performance signal.
+type histograms struct {
+	// httpDuration is request latency partitioned by route pattern.
+	httpDuration *telemetry.HistogramVec
+	// queueWait spans job acceptance to execution start; execution
+	// spans execution start to the terminal state. Together they
+	// attribute a slow job to queueing vs. running.
+	queueWait, execution *telemetry.Histogram
+	// cellSim is per-cell simulation wall-clock, simulated cells only
+	// (cached cells never run, so they would only flatten the
+	// distribution).
+	cellSim *telemetry.Histogram
+}
+
+// newHistograms builds the empty histogram families.
+func newHistograms() *histograms {
+	return &histograms{
+		httpDuration: telemetry.NewHistogramVec("route", httpDurationBuckets),
+		queueWait:    telemetry.NewHistogram(jobPhaseBuckets),
+		execution:    telemetry.NewHistogram(jobPhaseBuckets),
+		cellSim:      telemetry.NewHistogram(cellDurationBuckets),
+	}
+}
+
+// handleMetrics renders the Prometheus text exposition format. The
+// output is pinned by the exposition-lint test
+// (TestMetricsExpositionLints), so every family stays well-formed.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	c := &s.counters
 	emit := func(name, kind, help string, value float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, kind, name, value)
 	}
+	telemetry.WriteBuildInfoMetric(w)
 	emit("bulktx_jobs_submitted_total", "counter",
 		"Jobs accepted and enqueued.", float64(c.submitted.Load()))
 	emit("bulktx_jobs_deduped_total", "counter",
@@ -53,10 +98,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Grid cells actually simulated.", float64(c.cellsSimulated.Load()))
 	emit("bulktx_cells_cached_total", "counter",
 		"Grid cells served from the cache or an in-flight duplicate.", float64(c.cellsCached.Load()))
-	perSec := 0.0
+	// The throughput gauge only exists once busy time has accrued:
+	// cache-only jobs complete in ~zero wall-clock, and dividing by
+	// that would report 0 cells/sec right after the service served
+	// thousands of cached cells. Cached volume is already visible in
+	// bulktx_cells_cached_total; the latency histograms below are the
+	// finer-grained signal either way.
 	if ns := c.busyNanos.Load(); ns > 0 {
-		perSec = float64(c.cellsSimulated.Load()+c.cellsCached.Load()) / (float64(ns) / 1e9)
+		perSec := float64(c.cellsSimulated.Load()+c.cellsCached.Load()) / (float64(ns) / 1e9)
+		emit("bulktx_cells_per_sec", "gauge",
+			"Cells resolved per second of cumulative job-execution wall-clock; absent until at least one job has accrued nonzero execution time.", perSec)
 	}
-	emit("bulktx_cells_per_sec", "gauge",
-		"Cells resolved per second of job-execution time (cumulative).", perSec)
+	telemetry.WriteHistogramVec(w, "bulktx_http_request_duration_seconds",
+		"HTTP request latency by route pattern, SSE streams measured to stream end.", s.hist.httpDuration)
+	telemetry.WriteHistogram(w, "bulktx_job_queue_wait_seconds",
+		"Wall-clock from job acceptance to execution start.", s.hist.queueWait)
+	telemetry.WriteHistogram(w, "bulktx_job_execution_seconds",
+		"Wall-clock from execution start to the job's terminal state.", s.hist.execution)
+	telemetry.WriteHistogram(w, "bulktx_cell_simulation_seconds",
+		"Per-cell simulation wall-clock, simulated cells only (cached cells never run).", s.hist.cellSim)
 }

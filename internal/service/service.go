@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"bulktx/internal/netsim"
 	"bulktx/internal/report"
 	"bulktx/internal/sweep"
+	"bulktx/internal/telemetry"
 )
 
 // Defaults for zero-valued Options fields.
@@ -85,6 +87,10 @@ type Options struct {
 	// RetryAfter is the backoff advertised on 429 responses (<= 0
 	// selects DefaultRetryAfter).
 	RetryAfter time.Duration
+	// Logger receives the service's structured logs: one access-log
+	// line per request and one lifecycle line per job state
+	// transition. nil discards them.
+	Logger *slog.Logger
 }
 
 // New builds a Server and starts its job executors.
@@ -108,12 +114,18 @@ func New(o Options) *Server {
 	if cache == nil {
 		cache = sweep.NewCache()
 	}
+	log := o.Logger
+	if log == nil {
+		log = telemetry.NopLogger()
+	}
 	s := &Server{
 		pool:       &sweep.Pool{Workers: o.Workers, Cache: cache},
 		queueLimit: o.QueueLimit,
 		maxCells:   o.MaxCells,
 		maxJobs:    o.MaxJobs,
 		retryAfter: o.RetryAfter,
+		log:        log,
+		hist:       newHistograms(),
 		jobs:       make(map[string]*job),
 		queue:      make(chan *job, o.QueueLimit),
 	}
@@ -132,12 +144,6 @@ func New(o Options) *Server {
 		go s.executor()
 	}
 	return s
-}
-
-// ServeHTTP dispatches to the service's routes, so a Server plugs
-// directly into http.Server{Handler: svc}.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
 }
 
 // apiError is the JSON body of every non-2xx response. Field names the
@@ -310,10 +316,12 @@ func (s *Server) submit(w http.ResponseWriter, kind string, doc sweep.SpecDoc) {
 		writeError(w, http.StatusTooManyRequests,
 			fmt.Errorf("job queue full (%d queued); retry later", s.queueLimit))
 	case submitDeduped:
+		w.Header().Set(jobIDHeader, j.id)
 		st := j.status()
 		st.Deduped = true
 		writeJSON(w, http.StatusOK, st)
 	default:
+		w.Header().Set(jobIDHeader, j.id)
 		writeJSON(w, http.StatusAccepted, j.status())
 	}
 }

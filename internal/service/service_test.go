@@ -6,14 +6,17 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"bulktx/internal/sweep"
+	"bulktx/internal/telemetry"
 )
 
 // sweepBody is a fast 2-axis grid used across the tests: 2 models x 2
@@ -505,10 +508,222 @@ func TestHealthzAndMetricsShapes(t *testing.T) {
 		"bulktx_jobs_rejected_total", "bulktx_jobs_done_total",
 		"bulktx_jobs_failed_total", "bulktx_jobs_queued",
 		"bulktx_jobs_running", "bulktx_cells_simulated_total",
-		"bulktx_cells_cached_total", "bulktx_cells_per_sec",
+		"bulktx_cells_cached_total",
 	} {
 		metricValue(t, ts.URL, name) // fatal if absent or unparseable
 	}
+	// The throughput gauge is deliberately absent before any job has
+	// accrued execution time: a fresh (or cache-only) service has no
+	// meaningful denominator.
+	_, data = getBody(t, ts.URL+"/metrics")
+	if strings.Contains(string(data), "bulktx_cells_per_sec") {
+		t.Error("cells_per_sec exposed with zero busy time")
+	}
+	// Every histogram family is declared even before traffic.
+	for _, name := range []string{
+		"bulktx_http_request_duration_seconds",
+		"bulktx_job_queue_wait_seconds",
+		"bulktx_job_execution_seconds",
+		"bulktx_cell_simulation_seconds",
+	} {
+		if !strings.Contains(string(data), "# TYPE "+name+" histogram") {
+			t.Errorf("histogram family %s not declared", name)
+		}
+	}
+	if !strings.Contains(string(data), "bulktx_build_info{version=") {
+		t.Error("build info gauge missing")
+	}
+}
+
+// TestMetricsExpositionLints pins /metrics to the Prometheus text
+// format: after real traffic (a completed job, a dedupe, a status
+// poll), every emitted line must pass the exposition lint — types
+// declared, histogram buckets cumulative and +Inf-terminated, counts
+// consistent — and the latency histograms must have recorded.
+func TestMetricsExpositionLints(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+	st := submit(t, ts.URL+"/v1/runs", runBody, http.StatusAccepted)
+	waitDone(t, ts.URL, st.ID)
+	submit(t, ts.URL+"/v1/runs", runBody, http.StatusOK) // dedupe for counter coverage
+
+	resp, data := getBody(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	for _, err := range telemetry.LintExposition(data) {
+		t.Errorf("exposition lint: %v", err)
+	}
+	for _, name := range []string{
+		"bulktx_http_request_duration_seconds",
+		"bulktx_job_queue_wait_seconds",
+		"bulktx_job_execution_seconds",
+		"bulktx_cell_simulation_seconds",
+	} {
+		if !histogramRecorded(string(data), name) {
+			t.Errorf("histogram %s has no observations after a completed job", name)
+		}
+	}
+	// With busy time accrued, the throughput gauge reappears.
+	if v := metricValue(t, ts.URL, "bulktx_cells_per_sec"); v <= 0 {
+		t.Errorf("cells_per_sec = %g after a simulated job", v)
+	}
+}
+
+// histogramRecorded reports whether any _count series of the family
+// is nonzero.
+func histogramRecorded(expo, name string) bool {
+	for _, line := range strings.Split(expo, "\n") {
+		if !strings.HasPrefix(line, name+"_count") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if v, err := strconv.ParseFloat(fields[len(fields)-1], 64); err == nil && v > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TestJobTimingsLifecycle pins the timings object of the job status:
+// submitted_at from acceptance, queue-wait and execution spans once
+// the job starts and finishes.
+func TestJobTimingsLifecycle(t *testing.T) {
+	svc, ts := newTestService(t, Options{JobWorkers: 1})
+	release := make(chan struct{})
+	gate := make(chan struct{})
+	setGate(svc, func(*job) { close(gate); <-release })
+
+	st := submit(t, ts.URL+"/v1/runs", runBody, http.StatusAccepted)
+	if st.Timings == nil || st.Timings.SubmittedAt.IsZero() {
+		t.Fatalf("accepted status has no submitted_at: %+v", st.Timings)
+	}
+	if st.Timings.StartedAt != nil || st.Timings.FinishedAt != nil {
+		t.Errorf("queued job already has start/finish timings: %+v", st.Timings)
+	}
+	<-gate // dequeued, held before running
+	close(release)
+	done := waitDone(t, ts.URL, st.ID)
+	ti := done.Timings
+	if ti == nil || ti.StartedAt == nil || ti.FinishedAt == nil {
+		t.Fatalf("done job missing phase timestamps: %+v", ti)
+	}
+	if ti.QueueWaitS < 0 || ti.ExecutionS <= 0 {
+		t.Errorf("bad spans: queue_wait_s=%g execution_s=%g", ti.QueueWaitS, ti.ExecutionS)
+	}
+	if got := ti.StartedAt.Sub(ti.SubmittedAt).Seconds(); got < 0 {
+		t.Errorf("started %v before submitted %v", ti.StartedAt, ti.SubmittedAt)
+	}
+	if got := ti.FinishedAt.Sub(*ti.StartedAt).Seconds(); got <= 0 {
+		t.Errorf("finished %v not after started %v", ti.FinishedAt, ti.StartedAt)
+	}
+}
+
+// TestAccessLogAndRequestID pins the structured-logging contract:
+// exactly one access-log line per request, carrying the request id —
+// propagated when the client sent one, generated (and echoed in the
+// response header) when not — and the job id on submissions.
+func TestAccessLogAndRequestID(t *testing.T) {
+	var buf syncBuffer
+	log := slog.New(slog.NewJSONHandler(&buf, nil))
+	svc := New(Options{Logger: log})
+	ts := httptest.NewServer(svc)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Close(ctx) //nolint:errcheck // best-effort teardown
+	})
+
+	// A propagated request id survives; the response echoes it.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "test-req-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "test-req-1" {
+		t.Errorf("response request id %q, want propagated test-req-1", got)
+	}
+
+	// A submission logs its job id; a generated id lands on the response.
+	st := submit(t, ts.URL+"/v1/runs", runBody, http.StatusAccepted)
+	waitDone(t, ts.URL, st.ID)
+
+	type accessLine struct {
+		Msg       string  `json:"msg"`
+		Method    string  `json:"method"`
+		Route     string  `json:"route"`
+		Status    int     `json:"status"`
+		RequestID string  `json:"request_id"`
+		Job       string  `json:"job"`
+		Duration  float64 `json:"duration_ms"`
+	}
+	var access []accessLine
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec accessLine
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec.Msg == "request" {
+			access = append(access, rec)
+		}
+	}
+	var healthz, submits int
+	for _, rec := range access {
+		if rec.RequestID == "" {
+			t.Errorf("access line without request id: %+v", rec)
+		}
+		switch rec.Route {
+		case "GET /healthz":
+			healthz++
+			if rec.RequestID != "test-req-1" {
+				t.Errorf("healthz logged request id %q", rec.RequestID)
+			}
+		case "POST /v1/runs":
+			submits++
+			if rec.Job != st.ID {
+				t.Errorf("submit access line job %q, want %q", rec.Job, st.ID)
+			}
+			if rec.Status != http.StatusAccepted {
+				t.Errorf("submit access line status %d", rec.Status)
+			}
+		}
+	}
+	if healthz != 1 {
+		t.Errorf("%d access lines for the healthz request, want exactly 1", healthz)
+	}
+	if submits != 1 {
+		t.Errorf("%d access lines for the submission, want exactly 1", submits)
+	}
+	// Job lifecycle lines: queued, running, done — one each.
+	logged := buf.String()
+	for _, msg := range []string{"job queued", "job running", "job done"} {
+		if n := strings.Count(logged, `"msg":"`+msg+`"`); n != 1 {
+			t.Errorf("%d %q lifecycle lines, want 1", n, msg)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the slog handler writes
+// from request goroutines while the test reads.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+// Write appends under the lock.
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+// String snapshots the buffer under the lock.
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 func TestConcurrentIdenticalSubmissions(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bulktx/internal/netsim"
 )
@@ -59,6 +60,11 @@ type JobUpdate struct {
 	// hit, an intra-batch duplicate, or a wait on another Run call's
 	// in-flight execution of the same configuration.
 	Cached bool
+	// Duration is the wall-clock time the simulation took on its
+	// worker; zero for cached jobs, which never simulate. It feeds the
+	// per-cell latency histograms of telemetry consumers (the HTTP
+	// service's bulktx_cell_simulation_seconds).
+	Duration time.Duration
 	// Done and Total are the Run call's resolved-job counter after this
 	// job and its total job count.
 	Done, Total int
@@ -130,7 +136,7 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 	var execIdx []int // indices to actually simulate
 	var done, cached int
 	var progressMu sync.Mutex
-	notify := func(i int, fromCache bool) {
+	notify := func(i int, fromCache bool, dur time.Duration) {
 		progressMu.Lock()
 		done++
 		if fromCache {
@@ -142,7 +148,7 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 		if onJob != nil {
 			onJob(JobUpdate{
 				Index: i, Point: jobs[i].Point, Rep: jobs[i].Rep,
-				Cached: fromCache, Done: done, Total: total,
+				Cached: fromCache, Duration: dur, Done: done, Total: total,
 			})
 		}
 		progressMu.Unlock()
@@ -159,7 +165,7 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 		primary[key] = i
 		if res, ok := p.Cache.Get(key); ok {
 			results[i] = res
-			notify(i, true)
+			notify(i, true, 0)
 			continue
 		}
 		execIdx = append(execIdx, i)
@@ -205,7 +211,7 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 						continue
 					}
 					results[i] = f.res
-					notify(i, true)
+					notify(i, true, 0)
 					continue
 				}
 				// Re-check the cache now that we own the key: another
@@ -214,10 +220,12 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 				if res, ok := p.Cache.Get(keys[i]); ok {
 					p.release(keys[i], f, res, nil)
 					results[i] = res
-					notify(i, true)
+					notify(i, true, 0)
 					continue
 				}
+				simStart := time.Now()
 				res, err := netsim.Run(jobs[i].Config)
+				simDur := time.Since(simStart)
 				if err == nil {
 					err = p.Cache.Put(keys[i], res)
 				}
@@ -227,7 +235,7 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 					continue
 				}
 				results[i] = res
-				notify(i, false)
+				notify(i, false, simDur)
 			}
 		}()
 	}
@@ -245,7 +253,7 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 	for i := range jobs {
 		if pi := primary[keys[i]]; pi != i {
 			results[i] = results[pi]
-			notify(i, true)
+			notify(i, true, 0)
 		}
 	}
 	return results, cached, nil

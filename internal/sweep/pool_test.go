@@ -53,6 +53,9 @@ func TestRunJobsProgressReportsEveryJob(t *testing.T) {
 		if u.Cached {
 			t.Errorf("update %d: cold-cache job %d reported cached", i, u.Index)
 		}
+		if u.Duration <= 0 {
+			t.Errorf("update %d: simulated job %d has no duration", i, u.Index)
+		}
 	}
 	if out.Cached != 0 {
 		t.Errorf("cold run reported %d cached jobs", out.Cached)
@@ -70,6 +73,9 @@ func TestRunJobsProgressReportsEveryJob(t *testing.T) {
 	for _, u := range warm {
 		if !u.Cached {
 			t.Errorf("warm update for job %d not flagged cached", u.Index)
+		}
+		if u.Duration != 0 {
+			t.Errorf("cached update for job %d carries duration %v", u.Index, u.Duration)
 		}
 	}
 }

@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+)
+
+// Build describes the running binary, read from the metadata the Go
+// toolchain embeds at link time (runtime/debug.ReadBuildInfo).
+type Build struct {
+	// Version is the main module version — "(devel)" for plain local
+	// builds, a semver tag for released module builds.
+	Version string
+	// Revision is the VCS commit hash the binary was built from, or
+	// "unknown" when the build ran outside a checkout (or with
+	// -buildvcs=off).
+	Revision string
+	// Modified reports that the working tree was dirty at build time,
+	// so Revision alone does not pin the sources.
+	Modified bool
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+// BuildInfo reads the binary's embedded build metadata. It never
+// fails: fields the toolchain did not stamp come back as "unknown".
+func BuildInfo() Build {
+	b := Build{Version: "unknown", Revision: "unknown", GoVersion: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if info.Main.Version != "" {
+		b.Version = info.Main.Version
+	}
+	b.GoVersion = info.GoVersion
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			b.Revision = s.Value
+		case "vcs.modified":
+			b.Modified = s.Value == "true"
+		}
+	}
+	return b
+}
+
+// String renders the one-line human form used by the -version flag:
+// version, abbreviated revision (with a -dirty suffix for modified
+// trees) and toolchain.
+func (b Build) String() string {
+	rev := b.Revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if b.Modified {
+		rev += "-dirty"
+	}
+	return fmt.Sprintf("%s (%s, %s)", b.Version, rev, b.GoVersion)
+}
+
+// PrintVersion writes the shared -version banner for the named
+// command. Every bcp-* binary funnels its -version flag through here
+// so the banner format cannot drift across the suite.
+func PrintVersion(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, BuildInfo())
+}
+
+// WriteBuildInfoMetric renders the bulktx_build_info gauge: constant
+// value 1 with the build metadata as labels, the standard Prometheus
+// idiom for joining version info onto other series.
+func WriteBuildInfoMetric(w io.Writer) {
+	b := BuildInfo()
+	fmt.Fprintf(w, "# HELP bulktx_build_info Build metadata of the serving binary; constant 1, versions carried as labels.\n")
+	fmt.Fprintf(w, "# TYPE bulktx_build_info gauge\n")
+	fmt.Fprintf(w, "bulktx_build_info{version=%q,revision=%q,modified=%q,go=%q} 1\n",
+		escapeLabel(b.Version), escapeLabel(b.Revision), fmt.Sprintf("%t", b.Modified), escapeLabel(b.GoVersion))
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"flag"
+	"io"
+	"log/slog"
+)
+
+// Flags is the telemetry command-line surface shared by every bcp-*
+// binary: -version, -log-level and -log-format. Register it on the
+// command's flag set before parsing, then call HandleVersion and
+// Logger after.
+type Flags struct {
+	// Version requests the one-line build banner instead of running.
+	Version bool
+	// LogLevel is the minimum level logged: debug, info, warn, error.
+	LogLevel string
+	// LogFormat is the log encoding: text or json.
+	LogFormat string
+}
+
+// RegisterFlags registers the shared telemetry flags on fs (pass
+// flag.CommandLine for commands using the global flag set) and
+// returns the struct their parsed values land in.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Version, "version", false, "print version and build info, then exit")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "log verbosity: debug|info|warn|error")
+	fs.StringVar(&f.LogFormat, "log-format", "text", "log encoding: text|json")
+	return f
+}
+
+// HandleVersion prints the -version banner for the named command when
+// requested, reporting whether the command should exit instead of
+// running.
+func (f *Flags) HandleVersion(w io.Writer, name string) bool {
+	if !f.Version {
+		return false
+	}
+	PrintVersion(w, name)
+	return true
+}
+
+// Logger builds the command's logger from the parsed flags (see
+// NewLogger). Commands log to stderr so stdout stays reserved for
+// results.
+func (f *Flags) Logger(w io.Writer) (*slog.Logger, error) {
+	return NewLogger(w, f.LogFormat, f.LogLevel)
+}

@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram in the Prometheus
+// cumulative-bucket model: Observe is lock-free (atomic adds plus a
+// CAS loop for the sum), so hot paths can record into a shared
+// histogram without contention, and rendering takes a best-effort
+// snapshot (Prometheus semantics do not require cross-field
+// atomicity). The zero value is not usable; build one with
+// NewHistogram.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // one per bound, plus the +Inf overflow last
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given ascending bucket
+// upper bounds (exclusive of the implicit +Inf bucket). It panics on
+// unsorted or empty bounds — bucket layouts are compile-time
+// constants, so a bad layout is a programming error.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	if math.IsInf(bounds[len(bounds)-1], +1) {
+		panic("telemetry: +Inf bound is implicit; do not pass it")
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets builds n ascending bucket bounds starting at start and
+// growing by factor — the usual exponential latency bucket layout.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v: cumulative le semantics
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a wall-clock span in seconds, the unit of
+// every duration histogram in the exposition.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Seconds())
+}
+
+// Count reports the number of observations so far.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the sum of all observed values so far.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// writeSeries renders the histogram's _bucket/_sum/_count series.
+// labels is a pre-rendered `name="value"` pair list without braces,
+// or "" for an unlabeled family.
+func (h *Histogram) writeSeries(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, le, cum)
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, cum)
+}
+
+// WriteHistogram renders h as one complete Prometheus histogram
+// family: HELP, TYPE, cumulative _bucket series ending at le="+Inf",
+// then _sum and _count.
+func WriteHistogram(w io.Writer, name, help string, h *Histogram) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	h.writeSeries(w, name, "")
+}
+
+// HistogramVec is a family of Histograms sharing one bucket layout,
+// partitioned by a single label (e.g. HTTP route). Series are created
+// on first use and never evicted, matching the bounded route set of
+// the service mux.
+type HistogramVec struct {
+	label  string
+	bounds []float64
+
+	mu     sync.Mutex
+	series map[string]*Histogram
+}
+
+// NewHistogramVec builds an empty family partitioned by the given
+// label name over the given bucket bounds (see NewHistogram).
+func NewHistogramVec(label string, bounds []float64) *HistogramVec {
+	NewHistogram(bounds) // validate the layout once, loudly
+	return &HistogramVec{label: label, bounds: bounds, series: make(map[string]*Histogram)}
+}
+
+// With returns the histogram of one label value, creating it on first
+// use. The returned histogram is shared: callers may cache it.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.series[value]
+	if !ok {
+		h = NewHistogram(v.bounds)
+		v.series[value] = h
+	}
+	return h
+}
+
+// WriteHistogramVec renders every series of the family under one
+// HELP/TYPE header, label values in sorted order so the exposition is
+// deterministic.
+func WriteHistogramVec(w io.Writer, name, help string, v *HistogramVec) {
+	v.mu.Lock()
+	values := make([]string, 0, len(v.series))
+	for val := range v.series {
+		values = append(values, val)
+	}
+	sort.Strings(values)
+	series := make([]*Histogram, len(values))
+	for i, val := range values {
+		series[i] = v.series[val]
+	}
+	v.mu.Unlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, val := range values {
+		series[i].writeSeries(w, name, v.label+`="`+escapeLabel(val)+`"`)
+	}
+}
+
+// formatFloat renders a sample value or le bound the way Prometheus
+// clients do: shortest round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(s)
+}

@@ -1,0 +1,128 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramObserveBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	var b strings.Builder
+	WriteHistogram(&b, "t_seconds", "Test histogram.", h)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP t_seconds Test histogram.",
+		"# TYPE t_seconds histogram",
+		`t_seconds_bucket{le="0.01"} 2`, // 0.005 and the boundary value 0.01 (le is inclusive)
+		`t_seconds_bucket{le="0.1"} 3`,
+		`t_seconds_bucket{le="1"} 4`,
+		`t_seconds_bucket{le="+Inf"} 5`,
+		"t_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if errs := LintExposition([]byte(out)); len(errs) > 0 {
+		t.Errorf("self-lint failed: %v", errs)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(ExpBuckets(0.001, 10, 4))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-80) > 1e-6 {
+		t.Errorf("sum = %g, want 80", got)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.ObserveDuration(500 * time.Millisecond)
+	if got := h.Sum(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("sum = %g, want 0.5", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	v := NewHistogramVec("route", []float64{0.1, 1})
+	v.With("GET /healthz").Observe(0.05)
+	v.With("POST /v1/runs").Observe(2)
+	v.With("GET /healthz").Observe(0.5)
+	var b strings.Builder
+	WriteHistogramVec(&b, "t_http_seconds", "Test vec.", v)
+	out := b.String()
+	for _, want := range []string{
+		`t_http_seconds_bucket{route="GET /healthz",le="0.1"} 1`,
+		`t_http_seconds_bucket{route="GET /healthz",le="+Inf"} 2`,
+		`t_http_seconds_count{route="GET /healthz"} 2`,
+		`t_http_seconds_bucket{route="POST /v1/runs",le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("vec exposition missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE t_http_seconds histogram"); n != 1 {
+		t.Errorf("TYPE emitted %d times, want once", n)
+	}
+	// GET sorts before POST: label values render deterministically.
+	if strings.Index(out, "GET /healthz") > strings.Index(out, "POST /v1/runs") {
+		t.Error("series not in sorted label order")
+	}
+	if errs := LintExposition([]byte(out)); len(errs) > 0 {
+		t.Errorf("self-lint failed: %v", errs)
+	}
+}
+
+func TestNewHistogramPanicsOnBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":     {},
+		"unsorted":  {1, 0.5},
+		"dup":       {1, 1},
+		"inf-bound": {1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds %v did not panic", name, bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}

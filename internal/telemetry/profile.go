@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
+)
+
+// PprofMux builds the opt-in profiling mux: the standard
+// net/http/pprof index plus its named profiles. It is deliberately a
+// separate mux — serve it on its own (typically loopback-only)
+// listener so the profiling surface never leaks onto the public API;
+// the public mux keeps answering 404 for /debug/pprof/.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartCPUProfile begins a CPU profile into path, returning the stop
+// function to defer — the flag-to-profile plumbing behind the
+// -cpuprofile flag on bcp-bench and bcp-sweep.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := runtimepprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	return func() error {
+		runtimepprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		return nil
+	}, nil
+}
+
+// WriteHeapProfile writes an allocation profile to path after a final
+// GC, so the profile reflects live objects — the plumbing behind the
+// -memprofile flag.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	runtime.GC()
+	if err := runtimepprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-format exposition
+// (version 0.0.4) without external dependencies — the expfmt-style
+// line lint behind the repository's metrics tests. It checks that:
+//
+//   - every line is a well-formed comment or sample (metric and label
+//     names match the Prometheus charset, values parse as floats),
+//   - HELP and TYPE appear at most once per family, TYPE names a valid
+//     metric type and precedes the family's first sample,
+//   - every sample belongs to a family with a TYPE declaration, and
+//     histogram samples use only the _bucket/_sum/_count suffixes,
+//   - no two samples repeat the same name and label set,
+//   - each histogram series has cumulative (non-decreasing) bucket
+//     counts ending in an le="+Inf" bucket that equals its _count, and
+//     carries exactly one _sum and _count.
+//
+// It returns every violation found, so tests can report them all at
+// once; a nil slice means the exposition is clean.
+func LintExposition(data []byte) []error {
+	l := &expoLint{
+		types:  map[string]string{},
+		helped: map[string]bool{},
+		seen:   map[string]bool{},
+		sealed: map[string]bool{},
+		hists:  map[string]*histSeries{},
+	}
+	for i, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		l.line(i+1, line)
+	}
+	l.finishHistograms()
+	return l.errs
+}
+
+// expoLint accumulates lint state across exposition lines.
+type expoLint struct {
+	errs   []error
+	types  map[string]string      // family -> declared TYPE
+	helped map[string]bool        // family -> HELP seen
+	seen   map[string]bool        // name+labels -> sample seen (duplicate check)
+	sealed map[string]bool        // family -> samples seen (TYPE must precede)
+	hists  map[string]*histSeries // family + "\x00" + labels-without-le -> histogram series
+}
+
+// histSeries collects one histogram series' samples for the
+// cumulative/bucket/count cross-checks.
+type histSeries struct {
+	family, labels string
+	buckets        []bucket
+	sum, count     *float64
+	sums, counts   int
+}
+
+// bucket is one _bucket sample: its le bound and cumulative count.
+type bucket struct {
+	le    float64
+	value float64
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// splitSample tears one sample line into metric name, brace-enclosed
+// label block (or ""), and value. The label block is scanned
+// quote-aware, since label values may contain any character —
+// including braces, as in route="GET /v1/jobs/{id}".
+func splitSample(line string) (name, rawLabels, value string, ok bool) {
+	i := strings.IndexAny(line, "{ \t")
+	if i < 0 {
+		return "", "", "", false
+	}
+	name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		inQuotes, esc, end := false, false, -1
+		for j := 1; j < len(rest); j++ {
+			switch {
+			case esc:
+				esc = false
+			case rest[j] == '\\':
+				esc = true
+			case rest[j] == '"':
+				inQuotes = !inQuotes
+			case rest[j] == '}' && !inQuotes:
+				end = j
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", "", false
+		}
+		rawLabels, rest = rest[:end+1], rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", "", false
+	}
+	if len(fields) == 2 { // optional timestamp: integer milliseconds
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", "", "", false
+		}
+	}
+	return name, rawLabels, fields[0], true
+}
+
+// errf records one violation with its line number.
+func (l *expoLint) errf(n int, format string, a ...any) {
+	l.errs = append(l.errs, fmt.Errorf("line %d: "+format, append([]any{n}, a...)...))
+}
+
+// line lints one exposition line.
+func (l *expoLint) line(n int, line string) {
+	switch {
+	case strings.TrimSpace(line) == "":
+		return
+	case strings.HasPrefix(line, "# HELP "):
+		rest := strings.TrimPrefix(line, "# HELP ")
+		name, _, _ := strings.Cut(rest, " ")
+		if !metricNameRe.MatchString(name) {
+			l.errf(n, "HELP names invalid metric %q", name)
+			return
+		}
+		if l.helped[name] {
+			l.errf(n, "second HELP for %s", name)
+		}
+		l.helped[name] = true
+	case strings.HasPrefix(line, "# TYPE "):
+		fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+		if len(fields) != 2 {
+			l.errf(n, "malformed TYPE line %q", line)
+			return
+		}
+		name, typ := fields[0], fields[1]
+		if !metricNameRe.MatchString(name) {
+			l.errf(n, "TYPE names invalid metric %q", name)
+			return
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			l.errf(n, "unknown metric type %q for %s", typ, name)
+			return
+		}
+		if _, dup := l.types[name]; dup {
+			l.errf(n, "second TYPE for %s", name)
+			return
+		}
+		if l.sealed[name] {
+			l.errf(n, "TYPE for %s after its samples", name)
+		}
+		l.types[name] = typ
+	case strings.HasPrefix(line, "#"):
+		// Arbitrary comments are legal; only HELP/TYPE carry meaning.
+	default:
+		l.sample(n, line)
+	}
+}
+
+// sample lints one sample line and files it under its family.
+func (l *expoLint) sample(num int, text string) {
+	name, rawLabels, rawValue, ok := splitSample(text)
+	if !ok || !metricNameRe.MatchString(name) {
+		l.errf(num, "malformed sample line %q", text)
+		return
+	}
+	value, err := parseSampleValue(rawValue)
+	if err != nil {
+		l.errf(num, "%s: bad value %q", name, rawValue)
+		return
+	}
+	labels, le, ok := parseLabels(rawLabels)
+	if !ok {
+		l.errf(num, "%s: malformed labels %q", name, rawLabels)
+		return
+	}
+	family, suffix := name, ""
+	for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, sfx)
+		if base != name && l.types[base] == "histogram" {
+			family, suffix = base, sfx
+			break
+		}
+	}
+	typ, declared := l.types[family]
+	if !declared {
+		l.errf(num, "sample %s has no TYPE declaration", name)
+		return
+	}
+	key := name + "\x00" + labels + "\x00" + le
+	if l.seen[key] {
+		l.errf(num, "duplicate series %s{%s}", name, labels)
+	}
+	l.seen[key] = true
+	l.sealed[family] = true
+
+	if typ != "histogram" {
+		return
+	}
+	if suffix == "" {
+		l.errf(num, "histogram %s has non-histogram sample %s", family, name)
+		return
+	}
+	hk := family + "\x00" + labels
+	hs := l.hists[hk]
+	if hs == nil {
+		hs = &histSeries{family: family, labels: labels}
+		l.hists[hk] = hs
+	}
+	switch suffix {
+	case "_bucket":
+		if le == "" {
+			l.errf(num, "%s_bucket missing le label", family)
+			return
+		}
+		bound, err := parseSampleValue(le)
+		if err != nil {
+			l.errf(num, "%s_bucket: bad le %q", family, le)
+			return
+		}
+		hs.buckets = append(hs.buckets, bucket{le: bound, value: value})
+	case "_sum":
+		hs.sum, hs.sums = &value, hs.sums+1
+	case "_count":
+		hs.count, hs.counts = &value, hs.counts+1
+	}
+}
+
+// finishHistograms runs the whole-series checks once every line is in.
+func (l *expoLint) finishHistograms() {
+	keys := make([]string, 0, len(l.hists))
+	for k := range l.hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		hs := l.hists[k]
+		where := hs.family
+		if hs.labels != "" {
+			where += "{" + hs.labels + "}"
+		}
+		if len(hs.buckets) == 0 {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s has no buckets", where))
+			continue
+		}
+		sort.Slice(hs.buckets, func(i, j int) bool { return hs.buckets[i].le < hs.buckets[j].le })
+		last := hs.buckets[len(hs.buckets)-1]
+		if !isInf(last.le) {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s buckets do not end with le=\"+Inf\"", where))
+		}
+		for i := 1; i < len(hs.buckets); i++ {
+			if hs.buckets[i].value < hs.buckets[i-1].value {
+				l.errs = append(l.errs, fmt.Errorf("histogram %s buckets not cumulative at le=%g", where, hs.buckets[i].le))
+			}
+		}
+		if hs.sums != 1 {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s has %d _sum samples, want 1", where, hs.sums))
+		}
+		if hs.counts != 1 {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s has %d _count samples, want 1", where, hs.counts))
+		} else if isInf(last.le) && *hs.count != last.value {
+			l.errs = append(l.errs, fmt.Errorf("histogram %s _count %g != +Inf bucket %g", where, *hs.count, last.value))
+		}
+	}
+}
+
+// isInf reports a +Inf bound.
+func isInf(v float64) bool { return v > 1e308*1.5 }
+
+// parseSampleValue parses a sample or le value, accepting the
+// exposition's special floats.
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a brace-enclosed label list, returning the label
+// set without the le pair (canonically re-joined, sorted), the le
+// value if present, and whether the list was well-formed.
+func parseLabels(raw string) (labels, le string, ok bool) {
+	if raw == "" {
+		return "", "", true
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(raw, "{"), "}")
+	if strings.TrimSpace(body) == "" {
+		return "", "", true
+	}
+	var pairs []string
+	rest := body
+	for rest != "" {
+		name, after, found := strings.Cut(rest, "=")
+		if !found || !labelNameRe.MatchString(strings.TrimSpace(name)) {
+			return "", "", false
+		}
+		name = strings.TrimSpace(name)
+		value, remainder, valOK := cutQuoted(strings.TrimSpace(after))
+		if !valOK {
+			return "", "", false
+		}
+		rest = strings.TrimPrefix(strings.TrimSpace(remainder), ",")
+		rest = strings.TrimSpace(rest)
+		if name == "le" {
+			le = value
+			continue
+		}
+		pairs = append(pairs, name+`="`+value+`"`)
+	}
+	sort.Strings(pairs)
+	return strings.Join(pairs, ","), le, true
+}
+
+// cutQuoted consumes one quoted label value (honoring \" escapes),
+// returning the unquoted value and the remainder of the input.
+func cutQuoted(s string) (value, rest string, ok bool) {
+	if len(s) < 2 || s[0] != '"' {
+		return "", "", false
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", "", false
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(s[i])
+			default:
+				return "", "", false
+			}
+		case '"':
+			return b.String(), s[i+1:], true
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", false
+}

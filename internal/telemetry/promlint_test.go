@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// validExposition is a hand-written exposition exercising every
+// family shape the service emits.
+const validExposition = `# HELP t_jobs_total Jobs accepted.
+# TYPE t_jobs_total counter
+t_jobs_total 4
+# HELP t_queue_depth Queued jobs.
+# TYPE t_queue_depth gauge
+t_queue_depth 0
+# HELP t_req_seconds Request latency.
+# TYPE t_req_seconds histogram
+t_req_seconds_bucket{route="GET /x",le="0.1"} 1
+t_req_seconds_bucket{route="GET /x",le="+Inf"} 2
+t_req_seconds_sum{route="GET /x"} 1.5
+t_req_seconds_count{route="GET /x"} 2
+# HELP t_build_info Build metadata.
+# TYPE t_build_info gauge
+t_build_info{version="(devel)",revision="unknown"} 1
+`
+
+func TestLintAcceptsValidExposition(t *testing.T) {
+	if errs := LintExposition([]byte(validExposition)); len(errs) > 0 {
+		t.Fatalf("valid exposition rejected: %v", errs)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := map[string]struct {
+		doc  string
+		want string // substring of some reported error
+	}{
+		"sample without TYPE": {
+			doc:  "t_x 1\n",
+			want: "no TYPE declaration",
+		},
+		"bad value": {
+			doc:  "# TYPE t_x counter\nt_x notanumber\n",
+			want: "bad value",
+		},
+		"bad metric name": {
+			doc:  "# TYPE 0bad counter\n",
+			want: "invalid metric",
+		},
+		"unknown type": {
+			doc:  "# TYPE t_x flurble\n",
+			want: "unknown metric type",
+		},
+		"duplicate TYPE": {
+			doc:  "# TYPE t_x counter\n# TYPE t_x counter\n",
+			want: "second TYPE",
+		},
+		"TYPE after samples": {
+			doc:  "# TYPE t_x counter\nt_x 1\n# TYPE t_y counter\n# TYPE t_x gauge\n",
+			want: "second TYPE",
+		},
+		"duplicate series": {
+			doc:  "# TYPE t_x counter\nt_x 1\nt_x 2\n",
+			want: "duplicate series",
+		},
+		"malformed labels": {
+			doc:  "# TYPE t_x counter\nt_x{route=unquoted} 1\n",
+			want: "malformed",
+		},
+		"histogram without +Inf": {
+			doc: "# TYPE t_h histogram\n" +
+				"t_h_bucket{le=\"1\"} 1\nt_h_sum 1\nt_h_count 1\n",
+			want: `do not end with le="+Inf"`,
+		},
+		"non-cumulative buckets": {
+			doc: "# TYPE t_h histogram\n" +
+				"t_h_bucket{le=\"1\"} 5\nt_h_bucket{le=\"2\"} 3\nt_h_bucket{le=\"+Inf\"} 5\n" +
+				"t_h_sum 1\nt_h_count 5\n",
+			want: "not cumulative",
+		},
+		"count disagrees with +Inf bucket": {
+			doc: "# TYPE t_h histogram\n" +
+				"t_h_bucket{le=\"1\"} 1\nt_h_bucket{le=\"+Inf\"} 2\nt_h_sum 1\nt_h_count 7\n",
+			want: "_count 7 != +Inf bucket 2",
+		},
+		"histogram missing sum": {
+			doc: "# TYPE t_h histogram\n" +
+				"t_h_bucket{le=\"+Inf\"} 1\nt_h_count 1\n",
+			want: "_sum samples",
+		},
+	}
+	for name, tc := range cases {
+		errs := LintExposition([]byte(tc.doc))
+		found := false
+		for _, err := range errs {
+			if strings.Contains(err.Error(), tc.want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: no error containing %q in %v", name, tc.want, errs)
+		}
+	}
+}
+
+func TestLintSeparatesHistogramLabelSets(t *testing.T) {
+	// Two label sets of one histogram family lint independently: one
+	// valid series must not mask the other's missing +Inf bucket.
+	doc := "# TYPE t_h histogram\n" +
+		"t_h_bucket{route=\"a\",le=\"1\"} 1\nt_h_bucket{route=\"a\",le=\"+Inf\"} 1\n" +
+		"t_h_sum{route=\"a\"} 0.5\nt_h_count{route=\"a\"} 1\n" +
+		"t_h_bucket{route=\"b\",le=\"1\"} 1\n" +
+		"t_h_sum{route=\"b\"} 0.5\nt_h_count{route=\"b\"} 1\n"
+	errs := LintExposition([]byte(doc))
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), `route="b"`) {
+		t.Fatalf("want exactly one error for route b, got %v", errs)
+	}
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNewLoggerFormatsAndLevels(t *testing.T) {
+	var b bytes.Buffer
+	log, err := NewLogger(&b, "json", "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped")
+	log.Warn("kept", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(b.Bytes(), &rec); err != nil {
+		t.Fatalf("output not one JSON record: %q (%v)", b.String(), err)
+	}
+	if rec["msg"] != "kept" || rec["k"] != "v" {
+		t.Errorf("bad record %v", rec)
+	}
+	if strings.Contains(b.String(), "dropped") {
+		t.Error("info record leaked past warn level")
+	}
+
+	b.Reset()
+	log, err = NewLogger(&b, "text", "debug")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("visible")
+	if !strings.Contains(b.String(), "msg=visible") {
+		t.Errorf("text handler output %q", b.String())
+	}
+
+	if _, err := NewLogger(io.Discard, "xml", "info"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := NewLogger(io.Discard, "text", "loud"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"":      slog.LevelInfo,
+		"debug": slog.LevelDebug,
+		"INFO":  slog.LevelInfo,
+		"warn":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+}
+
+func TestNopLoggerDiscards(t *testing.T) {
+	NopLogger().Info("into the void") // must not panic
+	if NopLogger().Enabled(t.Context(), slog.LevelError) {
+		t.Error("nop logger claims to be enabled")
+	}
+}
+
+func TestRegisterFlagsAndLogger(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterFlags(fs)
+	if err := fs.Parse([]string{"-log-level", "debug", "-log-format", "json", "-version"}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Version || f.LogLevel != "debug" || f.LogFormat != "json" {
+		t.Fatalf("parsed flags %+v", f)
+	}
+	var b bytes.Buffer
+	if !f.HandleVersion(&b, "bcp-test") {
+		t.Error("HandleVersion = false with -version set")
+	}
+	if !strings.HasPrefix(b.String(), "bcp-test ") {
+		t.Errorf("version banner %q", b.String())
+	}
+	if _, err := f.Logger(io.Discard); err != nil {
+		t.Errorf("Logger: %v", err)
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := BuildInfo()
+	if b.Version == "" || b.Revision == "" || b.GoVersion == "" {
+		t.Errorf("BuildInfo has empty fields: %+v", b)
+	}
+	if !strings.Contains(b.String(), b.Version) {
+		t.Errorf("String %q omits version", b.String())
+	}
+	var out bytes.Buffer
+	WriteBuildInfoMetric(&out)
+	if !strings.Contains(out.String(), "bulktx_build_info{version=") {
+		t.Errorf("build info metric %q", out.String())
+	}
+	if errs := LintExposition(out.Bytes()); len(errs) > 0 {
+		t.Errorf("build info metric does not lint: %v", errs)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/", nil)
+	r.Header.Set(RequestIDHeader, "client-id-1")
+	if got := RequestID(r); got != "client-id-1" {
+		t.Errorf("propagated id = %q", got)
+	}
+	r.Header.Set(RequestIDHeader, strings.Repeat("x", 200))
+	if got := RequestID(r); len(got) != 16 {
+		t.Errorf("oversized client id not replaced: %q", got)
+	}
+	r.Header.Del(RequestIDHeader)
+	a, b := RequestID(r), RequestID(r)
+	if len(a) != 16 || a == b {
+		t.Errorf("generated ids %q, %q", a, b)
+	}
+}
+
+func TestPprofMuxServesIndex(t *testing.T) {
+	ts := httptest.NewServer(PprofMux())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index = %d", resp.StatusCode)
+	}
+}
+
+func TestProfileWriters(t *testing.T) {
+	dir := t.TempDir()
+	stop, err := StartCPUProfile(dir + "/cpu.prof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Errorf("stop cpu profile: %v", err)
+	}
+	if err := WriteHeapProfile(dir + "/mem.prof"); err != nil {
+		t.Errorf("heap profile: %v", err)
+	}
+}
