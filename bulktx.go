@@ -328,8 +328,10 @@ func RunPrototype(cfg PrototypeConfig) (PrototypeResult, error) { return mote.Ru
 // NewSimService builds and starts the HTTP simulation service (the
 // zero-value options select all cores, an in-memory cache and the
 // default limits). Serve it with http.Server{Handler: svc} and drain
-// it with svc.Close(ctx) before exit.
-func NewSimService(o SimServiceOptions) *SimService { return service.New(o) }
+// it with svc.Close(ctx) before exit. Construction fails only when a
+// configured StateDir cannot be opened or its job journal is
+// unreadable.
+func NewSimService(o SimServiceOptions) (*SimService, error) { return service.New(o) }
 
 // SweepReportMarkdown renders an executed sweep outcome as a
 // byte-stable markdown document (the service's report.md artifact).

@@ -10,18 +10,30 @@
 //	bcp-serve                                   # listen on :8080
 //	bcp-serve -addr 127.0.0.1:9090 -workers 8
 //	bcp-serve -cache-dir ~/.cache/bulktx-sweep  # results survive restarts
-//	bcp-serve -queue 16 -job-workers 2
+//	bcp-serve -state-dir /var/lib/bulktx        # jobs survive crashes too
+//	bcp-serve -queue 16 -job-workers 2 -cell-attempts 3
 //	bcp-serve -log-format json -log-level debug
 //	bcp-serve -pprof 127.0.0.1:6060             # profiling on a separate listener
 //
 // Identical submissions collapse onto one job (content-keyed dedupe);
-// a full job queue answers 429 with Retry-After. Every request gets
-// one structured access-log line on stderr, keyed by a propagated or
-// generated X-Request-ID. The -pprof flag serves net/http/pprof on
-// its own mux and listener, so the profiling surface never appears on
-// the public address. On SIGINT/SIGTERM the service drains
-// gracefully: accepted jobs finish (bounded by -drain-timeout), new
-// submissions get 503, then the process exits 0.
+// a full job queue answers 429 with a Retry-After computed from the
+// observed drain rate. Every request gets one structured access-log
+// line on stderr, keyed by a propagated or generated X-Request-ID.
+// The -pprof flag serves net/http/pprof on its own mux and listener,
+// so the profiling surface never appears on the public address.
+//
+// With -state-dir, accepted jobs are journaled before they are
+// acknowledged and a restarted process resubmits the unfinished ones;
+// pair it with -cache-dir and recovery re-serves already-computed
+// cells from disk. -cell-attempts > 1 retries panicking cells with
+// capped exponential backoff before quarantining them. The listener
+// runs with real header/read/idle timeouts (see -read-header-timeout
+// and friends); SSE streams clear their own write deadline, so they
+// are not bounded by -write-timeout. The BULKTX_FAULTS environment
+// variable activates deterministic fault injection (test/chaos use
+// only — the process logs loudly when set). On SIGINT/SIGTERM the
+// service drains gracefully: accepted jobs finish (bounded by
+// -drain-timeout), new submissions get 503, then the process exits 0.
 package main
 
 import (
@@ -37,6 +49,7 @@ import (
 	"time"
 
 	"bulktx/internal/cli"
+	"bulktx/internal/faultinject"
 	"bulktx/internal/service"
 	"bulktx/internal/sweep"
 	"bulktx/internal/telemetry"
@@ -46,39 +59,60 @@ func main() {
 	cli.Exit("bcp-serve", run())
 }
 
+// serveConfig is buildService's input: the command line, decoded.
+type serveConfig struct {
+	workers      int
+	cacheDir     string
+	stateDir     string
+	queue        int
+	jobWorkers   int
+	maxCells     int
+	maxJobs      int
+	cellAttempts int
+	log          *slog.Logger
+}
+
 // buildService assembles the service from the command line; split out
 // so the end-to-end tests drive exactly the wiring the binary runs.
-func buildService(workers int, cacheDir string, queue, jobWorkers, maxCells, maxJobs int, log *slog.Logger) (*service.Server, error) {
+func buildService(cfg serveConfig) (*service.Server, error) {
 	var cache *sweep.Cache
-	if cacheDir != "" {
+	if cfg.cacheDir != "" {
 		var err error
-		if cache, err = sweep.NewDiskCache(cacheDir); err != nil {
+		if cache, err = sweep.NewDiskCache(cfg.cacheDir); err != nil {
 			return nil, err
 		}
 	}
 	return service.New(service.Options{
-		Workers:    workers,
+		Workers:    cfg.workers,
 		Cache:      cache,
-		QueueLimit: queue,
-		JobWorkers: jobWorkers,
-		MaxCells:   maxCells,
-		MaxJobs:    maxJobs,
-		Logger:     log,
-	}), nil
+		QueueLimit: cfg.queue,
+		JobWorkers: cfg.jobWorkers,
+		MaxCells:   cfg.maxCells,
+		MaxJobs:    cfg.maxJobs,
+		Logger:     cfg.log,
+		StateDir:   cfg.stateDir,
+		Retry:      sweep.RetryPolicy{MaxAttempts: cfg.cellAttempts},
+	})
 }
 
 func run() error {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "sweep worker pool size (0 = all cores)")
-		cacheDir   = flag.String("cache-dir", "", "on-disk result cache directory (empty = in-memory only)")
-		queue      = flag.Int("queue", service.DefaultQueueLimit, "max queued jobs before submissions get 429")
-		jobWorkers = flag.Int("job-workers", 1, "jobs executing concurrently (cells within a job are already parallel)")
-		maxCells   = flag.Int("max-cells", service.DefaultMaxCells, "max simulations one submission may compile to")
-		maxJobs    = flag.Int("max-jobs", service.DefaultMaxJobs, "terminal jobs retained before the oldest are evicted")
-		drain      = flag.Duration("drain-timeout", 30*time.Second, "max wait for accepted jobs on shutdown")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = off; keep it loopback)")
-		tel        = telemetry.RegisterFlags(flag.CommandLine)
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "sweep worker pool size (0 = all cores)")
+		cacheDir     = flag.String("cache-dir", "", "on-disk result cache directory (empty = in-memory only)")
+		stateDir     = flag.String("state-dir", "", "crash-safe job journal directory: unfinished jobs resubmit on restart (empty = off)")
+		queue        = flag.Int("queue", service.DefaultQueueLimit, "max queued jobs before submissions get 429")
+		jobWorkers   = flag.Int("job-workers", 1, "jobs executing concurrently (cells within a job are already parallel)")
+		maxCells     = flag.Int("max-cells", service.DefaultMaxCells, "max simulations one submission may compile to")
+		maxJobs      = flag.Int("max-jobs", service.DefaultMaxJobs, "terminal jobs retained before the oldest are evicted")
+		cellAttempts = flag.Int("cell-attempts", 1, "execution attempts per cell before it is quarantined (1 = no retries)")
+		drain        = flag.Duration("drain-timeout", 30*time.Second, "max wait for accepted jobs on shutdown")
+		readHdrTO    = flag.Duration("read-header-timeout", 10*time.Second, "max wait for a request's headers")
+		readTO       = flag.Duration("read-timeout", 30*time.Second, "max wait for a whole request (specs are small)")
+		writeTO      = flag.Duration("write-timeout", 0, "max response write time; 0 = unbounded (SSE clears its own deadline either way)")
+		idleTO       = flag.Duration("idle-timeout", 2*time.Minute, "max keep-alive idle time per connection")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = off; keep it loopback)")
+		tel          = telemetry.RegisterFlags(flag.CommandLine)
 	)
 	flag.Parse()
 	if tel.HandleVersion(os.Stdout, "bcp-serve") {
@@ -89,7 +123,22 @@ func run() error {
 		return cli.Usage(err)
 	}
 
-	svc, err := buildService(*workers, *cacheDir, *queue, *jobWorkers, *maxCells, *maxJobs, log)
+	// Deterministic chaos for smoke tests: BULKTX_FAULTS activates
+	// seed-driven failure injection inside the real binary. Loud on
+	// purpose — a production process should never run with it set.
+	if spec, err := faultinject.LoadEnv(); err != nil {
+		return cli.Usage(err)
+	} else if spec != "" {
+		log.Warn("FAULT INJECTION ACTIVE — this process will misbehave on purpose",
+			"env", faultinject.EnvVar, "plan", spec)
+	}
+
+	svc, err := buildService(serveConfig{
+		workers: *workers, cacheDir: *cacheDir, stateDir: *stateDir,
+		queue: *queue, jobWorkers: *jobWorkers,
+		maxCells: *maxCells, maxJobs: *maxJobs,
+		cellAttempts: *cellAttempts, log: log,
+	})
 	if err != nil {
 		return err
 	}
@@ -97,7 +146,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc}
+	// Real timeouts so stuck or malicious clients cannot pin
+	// connections: SSE streams clear their own per-connection write
+	// deadline, so they survive any -write-timeout.
+	httpSrv := &http.Server{
+		Handler:           svc,
+		ReadHeaderTimeout: *readHdrTO,
+		ReadTimeout:       *readTO,
+		WriteTimeout:      *writeTO,
+		IdleTimeout:       *idleTO,
+	}
 	log.Info("listening", "addr", "http://"+ln.Addr().String(), "build", telemetry.BuildInfo().String())
 
 	// The profiling surface lives on its own mux and listener: the

@@ -32,7 +32,7 @@ const specBody = `{
 // bcp-sweep's export, and verify a repeated POST is answered from the
 // dedupe/cache without re-simulating (asserted via /metrics).
 func TestServeEndToEnd(t *testing.T) {
-	svc, err := buildService(0, "", 0, 0, 0, 0, nil)
+	svc, err := buildService(serveConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}

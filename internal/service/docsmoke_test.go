@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"regexp"
@@ -20,7 +21,7 @@ type docSmokeCase struct {
 
 // smokeMarker matches the machine-checkable example markers:
 // <!-- smoke: METHOD PATH STATUS -->.
-var smokeMarker = regexp.MustCompile(`^<!-- smoke: (GET|POST) (\S+) (\d{3}) -->$`)
+var smokeMarker = regexp.MustCompile(`^<!-- smoke: (GET|POST|DELETE) (\S+) (\d{3}) -->$`)
 
 // parseDocSmoke extracts the markers (and, for POSTs, the first fenced
 // json block after each marker) from the API reference.
@@ -96,7 +97,11 @@ func TestAPIDocExamples(t *testing.T) {
 				t.Fatalf("API.md line %d: {id} path before any successful submission", c.line)
 			}
 			path = strings.ReplaceAll(path, "{id}", lastID)
-			if strings.Contains(path, "/artifacts/") {
+			// Artifact reads and the documented DELETE example both
+			// address a finished job (the document says so), so the
+			// replay waits for the terminal state first — that keeps the
+			// DELETE example deterministic (409: nothing left to cancel).
+			if strings.Contains(path, "/artifacts/") || c.method == http.MethodDelete {
 				waitDone(t, ts.URL, lastID)
 			}
 		}
@@ -107,6 +112,18 @@ func TestAPIDocExamples(t *testing.T) {
 		switch c.method {
 		case http.MethodPost:
 			resp, body = postJSON(t, ts.URL+path, c.body)
+		case http.MethodDelete:
+			req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ = io.ReadAll(r.Body)
+			r.Body.Close()
+			resp = r
 		default:
 			resp, body = getBody(t, ts.URL+path)
 		}
@@ -139,13 +156,13 @@ func TestAPIDocCoversEveryRoute(t *testing.T) {
 		"POST /v1/sweeps",
 		"GET /v1/jobs",
 		"GET /v1/jobs/{id}",
+		"DELETE /v1/jobs/{id}",
 		"GET /v1/jobs/{id}/events",
 		"GET /v1/jobs/{id}/artifacts/{name}",
 		"GET /healthz",
 		"GET /metrics",
 	} {
-		path := strings.SplitN(route, " ", 2)[1]
-		if !strings.Contains(string(doc), path) {
+		if !strings.Contains(string(doc), route) {
 			t.Errorf("route %q undocumented in docs/API.md", route)
 		}
 	}
@@ -159,9 +176,12 @@ func TestAPIDocCoversEveryRoute(t *testing.T) {
 	for _, name := range []string{
 		"bulktx_jobs_submitted_total", "bulktx_jobs_deduped_total",
 		"bulktx_jobs_rejected_total", "bulktx_jobs_done_total",
-		"bulktx_jobs_failed_total", "bulktx_jobs_queued",
+		"bulktx_jobs_failed_total", "bulktx_jobs_canceled_total",
+		"bulktx_jobs_recovered_total", "bulktx_jobs_queued",
 		"bulktx_jobs_running", "bulktx_cells_simulated_total",
-		"bulktx_cells_cached_total", "bulktx_cells_per_sec",
+		"bulktx_cells_cached_total", "bulktx_cells_failed_total",
+		"bulktx_cell_retries_total", "bulktx_cache_write_errors_total",
+		"bulktx_journal_write_errors_total", "bulktx_cells_per_sec",
 		"bulktx_build_info",
 		"bulktx_http_request_duration_seconds",
 		"bulktx_job_queue_wait_seconds",

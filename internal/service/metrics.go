@@ -3,7 +3,9 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"bulktx/internal/telemetry"
 )
@@ -17,17 +19,96 @@ type counters struct {
 	// answered by an existing job; rejected counts 429 backpressure
 	// responses.
 	submitted, deduped, rejected atomic.Int64
-	// done and failed count terminal jobs.
-	done, failed atomic.Int64
+	// done, failed and canceled count terminal jobs.
+	done, failed, canceled atomic.Int64
+	// recovered counts journaled jobs resubmitted after a restart.
+	recovered atomic.Int64
 	// queued and running are live gauges of the job pipeline.
 	queued, running atomic.Int64
 	// cellsSimulated counts simulations actually executed;
 	// cellsCached counts cells served from the cache, an intra-job
 	// duplicate, or another job's in-flight execution.
 	cellsSimulated, cellsCached atomic.Int64
+	// cellsFailed counts cells quarantined after exhausting their
+	// retry budget; cellRetries counts the extra execution attempts
+	// retried cells consumed.
+	cellsFailed, cellRetries atomic.Int64
+	// cacheWriteErrors counts disk-cache writes that failed (the cache
+	// degrades to its memory tier); journalErrors counts journal
+	// appends that failed (jobs keep running, durability degrades).
+	cacheWriteErrors, journalErrors atomic.Int64
 	// busyNanos accumulates wall-clock time spent executing jobs, the
 	// denominator of the cells-per-second gauge.
 	busyNanos atomic.Int64
+}
+
+// Adaptive Retry-After tuning.
+const (
+	// drainWindow is how far back the drain-rate estimate looks.
+	drainWindow = 5 * time.Minute
+	// maxRetryAfter caps the advertised backoff so a stalled service
+	// never tells clients to go away for hours.
+	maxRetryAfter = 60 * time.Second
+)
+
+// drainStats tracks recent terminal job transitions, the basis of the
+// adaptive Retry-After hint: how fast the service has actually been
+// draining its queue lately.
+type drainStats struct {
+	mu     sync.Mutex
+	stamps []time.Time
+}
+
+// record stamps one terminal transition.
+func (d *drainStats) record(t time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stamps = append(d.stamps, t)
+	d.trimLocked(t)
+}
+
+// trimLocked drops stamps older than the window; d.mu must be held.
+func (d *drainStats) trimLocked(now time.Time) {
+	cut := now.Add(-drainWindow)
+	i := 0
+	for i < len(d.stamps) && d.stamps[i].Before(cut) {
+		i++
+	}
+	d.stamps = d.stamps[i:]
+}
+
+// rate estimates the recent drain rate in jobs per second; 0 when no
+// job finished inside the window (no evidence to extrapolate from).
+func (d *drainStats) rate(now time.Time) float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.trimLocked(now)
+	if len(d.stamps) == 0 {
+		return 0
+	}
+	elapsed := now.Sub(d.stamps[0])
+	if elapsed < time.Second {
+		elapsed = time.Second
+	}
+	return float64(len(d.stamps)) / elapsed.Seconds()
+}
+
+// retryAfterHint computes the 429 Retry-After value: the estimated
+// time to drain the current backlog at the recently observed rate,
+// clamped between the configured floor and maxRetryAfter. With no
+// recent completions to extrapolate from, the floor is advertised.
+func (s *Server) retryAfterHint(now time.Time) time.Duration {
+	hint := s.retryAfter
+	if rate := s.drains.rate(now); rate > 0 {
+		backlog := s.counters.queued.Load() + s.counters.running.Load() + 1
+		if est := time.Duration(float64(backlog) / rate * float64(time.Second)); est > hint {
+			hint = est
+		}
+	}
+	if hint > maxRetryAfter {
+		hint = maxRetryAfter
+	}
+	return hint
 }
 
 // Latency bucket layouts, in seconds. Request buckets start sub-ms
@@ -90,6 +171,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Jobs completed successfully.", float64(c.done.Load()))
 	emit("bulktx_jobs_failed_total", "counter",
 		"Jobs that ended in failure.", float64(c.failed.Load()))
+	emit("bulktx_jobs_canceled_total", "counter",
+		"Jobs canceled via DELETE before completing.", float64(c.canceled.Load()))
+	emit("bulktx_jobs_recovered_total", "counter",
+		"Journaled jobs resubmitted after a service restart.", float64(c.recovered.Load()))
 	emit("bulktx_jobs_queued", "gauge",
 		"Jobs waiting for an executor.", float64(c.queued.Load()))
 	emit("bulktx_jobs_running", "gauge",
@@ -98,6 +183,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"Grid cells actually simulated.", float64(c.cellsSimulated.Load()))
 	emit("bulktx_cells_cached_total", "counter",
 		"Grid cells served from the cache or an in-flight duplicate.", float64(c.cellsCached.Load()))
+	emit("bulktx_cells_failed_total", "counter",
+		"Grid cells quarantined after exhausting their retry budget.", float64(c.cellsFailed.Load()))
+	emit("bulktx_cell_retries_total", "counter",
+		"Extra execution attempts consumed by retried cells.", float64(c.cellRetries.Load()))
+	emit("bulktx_cache_write_errors_total", "counter",
+		"Disk cache writes that failed; results continued in memory only.", float64(c.cacheWriteErrors.Load()))
+	emit("bulktx_journal_write_errors_total", "counter",
+		"Job journal appends that failed; jobs continued, durability degraded.", float64(c.journalErrors.Load()))
 	// The throughput gauge only exists once busy time has accrued:
 	// cache-only jobs complete in ~zero wall-clock, and dividing by
 	// that would report 0 cells/sec right after the service served

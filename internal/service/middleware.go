@@ -34,6 +34,13 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// Unwrap exposes the wrapped writer to http.ResponseController, so the
+// SSE handler can clear the server's per-connection deadlines through
+// the instrumentation wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter {
+	return w.ResponseWriter
+}
+
 // ServeHTTP dispatches to the service's routes (a Server plugs
 // directly into http.Server{Handler: svc}), wrapped in the telemetry
 // middleware: a request id is propagated from X-Request-ID or

@@ -5,14 +5,15 @@
 //
 // Endpoints (see docs/API.md for the full reference):
 //
-//	POST /v1/runs                       submit one scenario (seeded repetitions)
-//	POST /v1/sweeps                     submit a sweep.SpecDoc grid
-//	GET  /v1/jobs                       list jobs in submission order
-//	GET  /v1/jobs/{id}                  job status
-//	GET  /v1/jobs/{id}/events           SSE progress stream (history replayed)
-//	GET  /v1/jobs/{id}/artifacts/{name} results.json | results.csv | report.md | trace.jsonl
-//	GET  /healthz                       liveness + queue depth
-//	GET  /metrics                       Prometheus text metrics
+//	POST   /v1/runs                       submit one scenario (seeded repetitions)
+//	POST   /v1/sweeps                     submit a sweep.SpecDoc grid
+//	GET    /v1/jobs                       list jobs in submission order
+//	GET    /v1/jobs/{id}                  job status
+//	DELETE /v1/jobs/{id}                  cancel a queued or running job
+//	GET    /v1/jobs/{id}/events           SSE progress stream (history replayed)
+//	GET    /v1/jobs/{id}/artifacts/{name} results.json | results.csv | report.md | trace.jsonl
+//	GET    /healthz                       liveness + queue depth
+//	GET    /metrics                       Prometheus text metrics
 //
 // Submissions are content-keyed: the job id is a hash over the compiled
 // job list, so identical specs — regardless of JSON formatting —
@@ -21,9 +22,17 @@
 // the shared sweep.Pool dedupes identical in-flight configurations
 // across concurrent jobs and serves repeated cells from its cache. The
 // job queue is bounded: when full, submissions are rejected with 429
-// and a Retry-After header (backpressure instead of unbounded memory).
-// Close drains the service gracefully: accepted jobs finish, new
-// submissions get 503.
+// and a Retry-After header computed from the observed drain rate
+// (backpressure instead of unbounded memory). Close drains the service
+// gracefully: accepted jobs finish, new submissions get 503.
+//
+// Resilience: with Options.StateDir set, every accepted job is recorded
+// in an append-only journal before the submission is acknowledged, and
+// a restarted service resubmits the unfinished ones — paired with a
+// disk cache, recovery re-serves already-computed cells for free.
+// Cells that panic are retried with capped exponential backoff and
+// quarantined after Options.Retry.MaxAttempts, so one poisoned cell
+// yields a partial result instead of sinking the whole sweep.
 package service
 
 import (
@@ -91,10 +100,20 @@ type Options struct {
 	// line per request and one lifecycle line per job state
 	// transition. nil discards them.
 	Logger *slog.Logger
+	// StateDir, when non-empty, enables the crash-safe job journal:
+	// accepted jobs are recorded under this directory before the
+	// submission is acknowledged, and a restarted service resubmits the
+	// unfinished ones. Empty disables journaling (jobs die with the
+	// process, the pre-journal behavior).
+	StateDir string
+	// Retry is the per-cell retry policy handed to the sweep pool. The
+	// zero value means one attempt per cell (no retries).
+	Retry sweep.RetryPolicy
 }
 
-// New builds a Server and starts its job executors.
-func New(o Options) *Server {
+// New builds a Server and starts its job executors. It fails only when
+// a configured StateDir cannot be opened or its journal is unreadable.
+func New(o Options) (*Server, error) {
 	if o.QueueLimit <= 0 {
 		o.QueueLimit = DefaultQueueLimit
 	}
@@ -119,7 +138,7 @@ func New(o Options) *Server {
 		log = telemetry.NopLogger()
 	}
 	s := &Server{
-		pool:       &sweep.Pool{Workers: o.Workers, Cache: cache},
+		pool:       &sweep.Pool{Workers: o.Workers, Cache: cache, Retry: o.Retry},
 		queueLimit: o.QueueLimit,
 		maxCells:   o.MaxCells,
 		maxJobs:    o.MaxJobs,
@@ -127,23 +146,52 @@ func New(o Options) *Server {
 		log:        log,
 		hist:       newHistograms(),
 		jobs:       make(map[string]*job),
-		queue:      make(chan *job, o.QueueLimit),
 	}
+	// A full disk degrades the cache to its memory tier instead of
+	// failing cells: log once, count every occurrence, keep the result.
+	s.pool.OnCacheError = func(_ string, err error) {
+		s.counters.cacheWriteErrors.Add(1)
+		s.cacheErrOnce.Do(func() {
+			s.log.Warn("disk cache write failed; falling back to in-memory results", "error", err)
+		})
+	}
+
+	var pending []journalRecord
+	if o.StateDir != "" {
+		jl, recs, err := openJournal(o.StateDir, func(err error) {
+			s.counters.journalErrors.Add(1)
+			s.journalErrOnce.Do(func() {
+				s.log.Warn("job journal append failed; accepted jobs may not survive a crash", "error", err)
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.journal = jl
+		pending = recs
+	}
+	// Size the queue for the configured limit plus the recovery
+	// backlog, so resubmitting every journaled job can never block (or
+	// get bounced by) the very startup doing it.
+	s.queue = make(chan *job, o.QueueLimit+len(pending))
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/artifacts/{name}", s.handleJobArtifact)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
+	s.recoverPending(pending)
 	for w := 0; w < o.JobWorkers; w++ {
 		s.wg.Add(1)
 		go s.executor()
 	}
-	return s
+	return s, nil
 }
 
 // apiError is the JSON body of every non-2xx response. Field names the
@@ -213,6 +261,22 @@ type RunRequest struct {
 	// SensorLoss and WifiLoss inject random frame loss per channel.
 	SensorLoss float64 `json:"sensor_loss,omitempty"`
 	WifiLoss   float64 `json:"wifi_loss,omitempty"`
+	// DeadlineS bounds the job's execution wall-clock in seconds; a job
+	// still running when it expires is unwound between cells and
+	// reported failed. 0 (the default) means unbounded. The deadline is
+	// not part of the job's content key: resubmitting a spec with a
+	// different deadline dedupes onto the existing job.
+	DeadlineS float64 `json:"deadline_s,omitempty"`
+}
+
+// sweepRequest is the body of POST /v1/sweeps: a sweep.SpecDoc — the
+// same document cmd/bcp-sweep -spec reads — plus the service-level
+// execution deadline.
+type sweepRequest struct {
+	sweep.SpecDoc
+	// DeadlineS bounds the job's execution wall-clock in seconds
+	// (0 = unbounded); see RunRequest.DeadlineS.
+	DeadlineS float64 `json:"deadline_s,omitempty"`
 }
 
 // specDoc lowers the singular run request onto the sweep document
@@ -270,23 +334,28 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.submit(w, kindRun, req.specDoc())
+	s.submit(w, kindRun, req.specDoc(), req.DeadlineS)
 }
 
 // handleSubmitSweep accepts a sweep grid in the sweep.SpecDoc shape —
 // the same document cmd/bcp-sweep -spec reads.
 func (s *Server) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
-	var doc sweep.SpecDoc
-	if err := decodeBody(w, r, &doc); err != nil {
+	var req sweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	s.submit(w, kindSweep, doc)
+	s.submit(w, kindSweep, req.SpecDoc, req.DeadlineS)
 }
 
 // submit compiles the document, content-keys it, and either adopts an
 // existing job, enqueues a new one, or rejects with backpressure.
-func (s *Server) submit(w http.ResponseWriter, kind string, doc sweep.SpecDoc) {
+func (s *Server) submit(w http.ResponseWriter, kind string, doc sweep.SpecDoc, deadlineS float64) {
+	if deadlineS < 0 {
+		writeError(w, http.StatusBadRequest,
+			&netsim.FieldError{Field: "deadline_s", Reason: "must be >= 0"})
+		return
+	}
 	spec, err := doc.Spec()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -306,15 +375,22 @@ func (s *Server) submit(w http.ResponseWriter, kind string, doc sweep.SpecDoc) {
 			fmt.Errorf("spec compiles to %d simulations, limit %d", len(jobs), s.maxCells))
 		return
 	}
-	j, outcome := s.adopt(kind, jobs)
+	rawDoc, err := json.Marshal(doc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("encoding spec for the journal: %w", err))
+		return
+	}
+	deadline := time.Duration(deadlineS * float64(time.Second))
+	j, outcome := s.adopt(kind, jobs, rawDoc, deadline, true)
 	switch outcome {
 	case submitClosed:
 		writeError(w, http.StatusServiceUnavailable, errors.New("service is shutting down"))
 	case submitFull:
 		s.counters.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
+		hint := s.retryAfterHint(time.Now())
+		w.Header().Set("Retry-After", strconv.Itoa(int((hint+time.Second-1)/time.Second)))
 		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("job queue full (%d queued); retry later", s.queueLimit))
+			fmt.Errorf("job queue full (%d queued); retry in ~%s", s.queueLimit, hint.Round(time.Second)))
 	case submitDeduped:
 		w.Header().Set(jobIDHeader, j.id)
 		st := j.status()
@@ -358,6 +434,24 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCancelJob cancels a queued or running job: queued jobs
+// terminate immediately, running ones unwind at the next cell
+// boundary. Either way the response is 202 with the job's current
+// status — poll or subscribe to observe the terminal "canceled" state.
+// Jobs already terminal answer 409.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if !s.cancelJob(j) {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is already %s; nothing to cancel", j.id, j.currentState()))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
 // handleJobArtifact serves a completed job's exports.
 func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
 	j := s.lookup(w, r)
@@ -368,8 +462,8 @@ func (s *Server) handleJobArtifact(w http.ResponseWriter, r *http.Request) {
 	state, outcome := j.state, j.outcome
 	j.mu.Unlock()
 	switch state {
-	case jobFailed:
-		writeError(w, http.StatusConflict, fmt.Errorf("job %s failed; no artifacts", j.id))
+	case jobFailed, jobCanceled:
+		writeError(w, http.StatusConflict, fmt.Errorf("job %s %s; no artifacts", j.id, state))
 		return
 	case jobQueued, jobRunning:
 		writeError(w, http.StatusConflict, fmt.Errorf("job %s is %s; artifacts appear when it completes", j.id, state))

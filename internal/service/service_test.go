@@ -44,7 +44,10 @@ func setGate(svc *Server, gate func(*job)) {
 
 func newTestService(t *testing.T, o Options) (*Server, *httptest.Server) {
 	t.Helper()
-	svc := New(o)
+	svc, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc)
 	t.Cleanup(func() {
 		ts.Close()
@@ -110,7 +113,7 @@ func waitDone(t *testing.T, base, id string) JobStatus {
 		if err := json.Unmarshal(data, &st); err != nil {
 			t.Fatal(err)
 		}
-		if st.State == string(jobDone) || st.State == string(jobFailed) {
+		if jobState(st.State).terminal() {
 			return st
 		}
 		time.Sleep(10 * time.Millisecond)
@@ -625,7 +628,10 @@ func TestJobTimingsLifecycle(t *testing.T) {
 func TestAccessLogAndRequestID(t *testing.T) {
 	var buf syncBuffer
 	log := slog.New(slog.NewJSONHandler(&buf, nil))
-	svc := New(Options{Logger: log})
+	svc, err := New(Options{Logger: log})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(svc)
 	t.Cleanup(func() {
 		ts.Close()

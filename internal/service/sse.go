@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 )
 
 // subscriberBuffer is each SSE subscriber's event buffer. A subscriber
@@ -17,7 +18,8 @@ const subscriberBuffer = 256
 type event struct {
 	// id is the monotonically increasing SSE id within the stream.
 	id int
-	// name is the SSE event name: queued, started, cell, done, failed.
+	// name is the SSE event name: queued, started, cell, done, failed,
+	// canceled.
 	name string
 	// data is the JSON payload.
 	data []byte
@@ -114,6 +116,14 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
 		return
 	}
+	// bcp-serve runs its http.Server with real read/write timeouts so
+	// stuck clients cannot pin connections forever — but an SSE stream
+	// legitimately outlives them. Clear the per-connection deadlines
+	// for this response only (best-effort: the test server's recorder
+	// has none to clear).
+	rc := http.NewResponseController(w)
+	rc.SetReadDeadline(time.Time{})  //nolint:errcheck // unsupported writer: keep the server default
+	rc.SetWriteDeadline(time.Time{}) //nolint:errcheck // unsupported writer: keep the server default
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("Connection", "keep-alive")

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"bulktx/internal/faultinject"
 	"bulktx/internal/netsim"
 )
 
@@ -145,6 +146,11 @@ func (c *Cache) Put(key string, res netsim.Result) error {
 	c.mu.Unlock()
 	if c.dir == "" {
 		return nil
+	}
+	// Deterministic chaos hook: lets tests and smokes fail the disk
+	// tier without unplugging a disk. Free when no plan is active.
+	if err := faultinject.Error(faultinject.CachePut, key); err != nil {
+		return fmt.Errorf("sweep: writing cache entry: %w", err)
 	}
 	data, err := json.Marshal(res)
 	if err != nil {

@@ -57,13 +57,40 @@ func WriteJSON(w io.Writer, o *Outcome) error {
 		Jobs   int          `json:"jobs"`
 		Cached int          `json:"cached"`
 		Cells  []exportCell `json:"cells"`
+		// Failed and Errors surface quarantined jobs of a partial
+		// sweep; both are omitted for fully successful outcomes, so
+		// the document shape (and byte-identity) of clean sweeps is
+		// unchanged.
+		Failed int           `json:"failed,omitempty"`
+		Errors []exportError `json:"errors,omitempty"`
 	}{Jobs: len(o.Jobs), Cached: o.Cached, Cells: []exportCell{}}
 	for _, c := range o.Cells() {
 		doc.Cells = append(doc.Cells, toExportCell(c))
 	}
+	doc.Failed = len(o.Errors)
+	for _, ce := range o.Errors {
+		doc.Errors = append(doc.Errors, exportError{
+			Index: ce.Index, Point: ce.Point.String(), Rep: ce.Rep,
+			Attempts: ce.Attempts, Error: ce.Err.Error(),
+		})
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(doc)
+}
+
+// exportError is the stable JSON shape of one quarantined job.
+type exportError struct {
+	// Index is the job's position in the sweep's job list.
+	Index int `json:"index"`
+	// Point and Rep identify the cell within the grid.
+	Point string `json:"point"`
+	// Rep is the seeded repetition index within the point.
+	Rep int `json:"rep"`
+	// Attempts is how many executions the cell got before quarantine.
+	Attempts int `json:"attempts"`
+	// Error is the cell's final failure.
+	Error string `json:"error"`
 }
 
 // csvHeader is the fixed column order of WriteCSV.

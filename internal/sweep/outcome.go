@@ -13,21 +13,42 @@ import (
 type Outcome struct {
 	// Jobs is the executed job list in spec order.
 	Jobs []Job
-	// Results holds one result per job, index-aligned with Jobs.
+	// Results holds one result per job, index-aligned with Jobs. The
+	// entry of a quarantined job (see Errors) is the zero Result and is
+	// excluded from grouping and summaries.
 	Results []netsim.Result
 	// Cached counts the jobs served without simulating: result-cache
 	// hits, intra-batch duplicates, and adoptions of another Run
 	// call's in-flight execution (it matches the number of JobUpdates
 	// delivered with Cached true).
 	Cached int
+	// Errors lists the quarantined jobs of a partially failed sweep in
+	// index order — cells that still failed (or panicked) after their
+	// retry budget. Empty for fully successful sweeps, so existing
+	// consumers and serialized shapes are unchanged.
+	Errors []CellError
 }
 
-// PointResults returns the results of one grid point in repetition
-// order (nil if the point is not part of the sweep).
+// failedSet indexes the quarantined jobs for exclusion from grouping.
+func (o *Outcome) failedSet() map[int]bool {
+	if len(o.Errors) == 0 {
+		return nil
+	}
+	set := make(map[int]bool, len(o.Errors))
+	for _, ce := range o.Errors {
+		set[ce.Index] = true
+	}
+	return set
+}
+
+// PointResults returns the successful results of one grid point in
+// repetition order (nil if the point is not part of the sweep or every
+// repetition was quarantined).
 func (o *Outcome) PointResults(pt Point) []netsim.Result {
+	failed := o.failedSet()
 	var out []netsim.Result
 	for i, job := range o.Jobs {
-		if job.Point == pt {
+		if job.Point == pt && !failed[i] {
 			out = append(out, o.Results[i])
 		}
 	}
@@ -51,11 +72,18 @@ type CellSummary struct {
 }
 
 // Cells groups the outcome per grid point (in first-appearance job
-// order) and summarizes each.
+// order) and summarizes each. Quarantined jobs are excluded: a point
+// with failed repetitions summarizes over the successful ones, and a
+// point whose every repetition failed is omitted entirely (it is still
+// visible through Errors).
 func (o *Outcome) Cells() []CellSummary {
+	failed := o.failedSet()
 	var order []Point
 	grouped := make(map[Point][]netsim.Result)
 	for i, job := range o.Jobs {
+		if failed[i] {
+			continue
+		}
 		if _, ok := grouped[job.Point]; !ok {
 			order = append(order, job.Point)
 		}

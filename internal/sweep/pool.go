@@ -1,22 +1,32 @@
 package sweep
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"bulktx/internal/faultinject"
 	"bulktx/internal/netsim"
 )
 
 // Pool executes sweep jobs on a fixed-size worker pool. The zero value
-// is usable: runtime.NumCPU workers, no cache, no progress reporting.
-// A Pool is safe for concurrent use; one Run call's jobs never
-// interleave state with another's (netsim runs share nothing), and
-// concurrent Run calls submitting the same configuration collapse onto
-// one in-flight simulation (the later call waits for the earlier one's
-// result instead of re-simulating).
+// is usable: runtime.NumCPU workers, no cache, no progress reporting,
+// no retries. A Pool is safe for concurrent use; one Run call's jobs
+// never interleave state with another's (netsim runs share nothing),
+// and concurrent Run calls submitting the same configuration collapse
+// onto one in-flight simulation (the later call waits for the earlier
+// one's result instead of re-simulating).
+//
+// Cell execution is panic-isolated: a panicking simulation is
+// recovered into a *PanicError on that cell instead of crashing the
+// process, and — when Retry enables it — retried with capped
+// exponential backoff before the cell is quarantined.
 type Pool struct {
 	// Workers is the concurrency limit; values < 1 select
 	// runtime.NumCPU().
@@ -26,10 +36,21 @@ type Pool struct {
 	// calls (and across processes for disk-backed caches).
 	Cache *Cache
 
+	// Retry governs per-cell retry of failed or panicked simulations;
+	// the zero value runs each cell once.
+	Retry RetryPolicy
+
 	// Progress, when non-nil, is called after each job resolves with
 	// the number of jobs done so far and the total. Calls are
 	// serialized but may come from any worker goroutine.
 	Progress func(done, total int)
+
+	// OnCacheError, when non-nil, observes result-cache write failures
+	// (disk full, permissions, ...). Cache writes are not load-bearing:
+	// the result is already in memory and the cell succeeds regardless,
+	// so the hook exists for logging and counting, never for control
+	// flow. Calls may come from any worker goroutine.
+	OnCacheError func(key string, err error)
 
 	// mu guards inflight, the cross-Run-call dedupe table: content key
 	// -> the flight currently simulating that configuration.
@@ -38,13 +59,14 @@ type Pool struct {
 }
 
 // flight is one in-flight simulation of a unique configuration. The
-// worker that claims a key fills res/err and closes done; workers of
-// other Run calls carrying the same key wait on done instead of
-// re-simulating.
+// worker that claims a key fills res/err/attempts and closes done;
+// workers of other Run calls carrying the same key wait on done
+// instead of re-simulating.
 type flight struct {
-	done chan struct{}
-	res  netsim.Result
-	err  error
+	done     chan struct{}
+	res      netsim.Result
+	err      error
+	attempts int
 }
 
 // JobUpdate describes one resolved job of a Run call, as delivered to
@@ -60,6 +82,13 @@ type JobUpdate struct {
 	// hit, an intra-batch duplicate, or a wait on another Run call's
 	// in-flight execution of the same configuration.
 	Cached bool
+	// Attempts is how many times the cell was executed (1 for a
+	// first-try success, more after retries; 0 for cached jobs).
+	Attempts int
+	// Err is the cell's final error when it was quarantined after
+	// exhausting its attempts; nil for successful and cached jobs.
+	// Quarantined cells still count toward Done.
+	Err error
 	// Duration is the wall-clock time the simulation took on its
 	// worker; zero for cached jobs, which never simulate. It feeds the
 	// per-cell latency histograms of telemetry consumers (the HTTP
@@ -104,6 +133,33 @@ func (p *Pool) release(key string, f *flight, res netsim.Result, err error) {
 	close(f.done)
 }
 
+// isCtxErr distinguishes cancellation/deadline unwinding from genuine
+// cell failures: the former ends the whole run, the latter quarantines
+// one cell.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// attemptKey names one execution attempt of a cell for fault-injection
+// decisions, so probabilistic plans can flake per attempt while
+// staying deterministic.
+func attemptKey(key string, attempt int) string {
+	return fmt.Sprintf("%s#%d", key, attempt)
+}
+
+// runCell executes one simulation attempt, converting panics —
+// injected or genuine — into *PanicError so a corrupt cell cannot take
+// down the worker pool.
+func runCell(cfg netsim.Config, faultKey string) (res netsim.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	faultinject.MaybePanic(faultinject.CellPanic, faultKey)
+	return netsim.Run(cfg)
+}
+
 // Run executes the jobs and returns one result per job, in job order
 // regardless of scheduling: result i is always job i's, so a parallel
 // pool is byte-identical to serial execution. Jobs with identical
@@ -112,17 +168,23 @@ func (p *Pool) release(key string, f *flight, res netsim.Result, err error) {
 // ran (remaining jobs are abandoned, so which jobs ran — and hence
 // which error surfaces — can vary with scheduling).
 func (p *Pool) Run(jobs []Job) ([]netsim.Result, error) {
-	results, _, err := p.run(jobs, nil)
+	results, _, _, err := p.run(context.Background(), jobs, nil, false)
 	return results, err
 }
 
-// run is Run plus the number of jobs resolved without simulating (see
-// Outcome.Cached) and an optional per-job progress hook.
-func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, error) {
+// run executes jobs with per-job progress reporting. In wholesale mode
+// (partial false, the Run/Grid/Reps path) the first final cell error
+// aborts the batch and is returned. In partial mode (partial true, the
+// RunJobsProgressContext path) every cell is attempted; quarantined
+// cells are returned as CellErrors — sorted by index — alongside the
+// results, and the only run-level errors are key-encoding failures and
+// ctx cancellation. The int result counts jobs resolved without
+// simulating (see Outcome.Cached).
+func (p *Pool) run(ctx context.Context, jobs []Job, onJob func(JobUpdate), partial bool) ([]netsim.Result, int, []CellError, error) {
 	total := len(jobs)
 	results := make([]netsim.Result, total)
 	if total == 0 {
-		return results, 0, nil
+		return results, 0, nil, nil
 	}
 
 	// Resolve duplicates and cache hits up front. primary maps a
@@ -136,7 +198,7 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 	var execIdx []int // indices to actually simulate
 	var done, cached int
 	var progressMu sync.Mutex
-	notify := func(i int, fromCache bool, dur time.Duration) {
+	notify := func(i int, fromCache bool, attempts int, cellErr error, dur time.Duration) {
 		progressMu.Lock()
 		done++
 		if fromCache {
@@ -148,7 +210,8 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 		if onJob != nil {
 			onJob(JobUpdate{
 				Index: i, Point: jobs[i].Point, Rep: jobs[i].Rep,
-				Cached: fromCache, Duration: dur, Done: done, Total: total,
+				Cached: fromCache, Attempts: attempts, Err: cellErr,
+				Duration: dur, Done: done, Total: total,
 			})
 		}
 		progressMu.Unlock()
@@ -156,7 +219,7 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 	for i, job := range jobs {
 		key, err := Key(job.Config)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, nil, err
 		}
 		keys[i] = key
 		if _, dup := primary[key]; dup {
@@ -165,19 +228,22 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 		primary[key] = i
 		if res, ok := p.Cache.Get(key); ok {
 			results[i] = res
-			notify(i, true, 0)
+			notify(i, true, 0, nil, 0)
 			continue
 		}
 		execIdx = append(execIdx, i)
 	}
 
-	// Execute the unique misses on the worker pool.
+	// Execute the unique misses on the worker pool. failed short-
+	// circuits remaining work in wholesale mode only; cellErrs
+	// accumulates quarantined cells in partial mode.
 	var (
-		failed  atomic.Bool
-		errMu   sync.Mutex
-		errIdx  = -1
-		firstEr error
-		wg      sync.WaitGroup
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		errIdx   = -1
+		firstEr  error
+		cellErrs []CellError
+		wg       sync.WaitGroup
 	)
 	fail := func(i int, err error) {
 		failed.Store(true)
@@ -186,6 +252,104 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 			errIdx, firstEr = i, err
 		}
 		errMu.Unlock()
+	}
+	// quarantine records one cell's final error: a batch abort in
+	// wholesale mode, a per-cell error entry in partial mode. Ctx
+	// unwinding is not a cell failure — the run-level return handles it.
+	quarantine := func(i, attempts int, err error) {
+		if isCtxErr(err) {
+			return
+		}
+		if !partial {
+			fail(i, err)
+			return
+		}
+		errMu.Lock()
+		cellErrs = append(cellErrs, CellError{
+			Index: i, Point: jobs[i].Point, Rep: jobs[i].Rep,
+			Attempts: attempts, Err: err,
+		})
+		errMu.Unlock()
+		notify(i, false, attempts, err, 0)
+	}
+	execute := func(i int) {
+		for {
+			f, owner := p.claim(keys[i])
+			if !owner {
+				// Another Run call is simulating this exact
+				// configuration; adopt its result instead of
+				// duplicating the work.
+				<-f.done
+				if f.err != nil {
+					// The owner may have unwound for its own
+					// cancellation, not because the cell is bad; if we
+					// are still live, claim the key ourselves.
+					if isCtxErr(f.err) && ctx.Err() == nil {
+						continue
+					}
+					quarantine(i, f.attempts, f.err)
+					return
+				}
+				results[i] = f.res
+				notify(i, true, 0, nil, 0)
+				return
+			}
+			// Re-check the cache now that we own the key: another
+			// Run call may have finished (and cached) this
+			// configuration between our pre-scan and this claim.
+			if res, ok := p.Cache.Get(keys[i]); ok {
+				p.release(keys[i], f, res, nil)
+				results[i] = res
+				notify(i, true, 0, nil, 0)
+				return
+			}
+			attempts := p.Retry.attempts()
+			var (
+				res    netsim.Result
+				err    error
+				simDur time.Duration
+				att    int
+			)
+			for att = 1; att <= attempts; att++ {
+				if err = ctx.Err(); err != nil {
+					break
+				}
+				faultinject.Stall(ctx, faultinject.CellStall, attemptKey(keys[i], att))
+				if err = ctx.Err(); err != nil {
+					break
+				}
+				simStart := time.Now()
+				res, err = runCell(jobs[i].Config, attemptKey(keys[i], att))
+				simDur = time.Since(simStart)
+				if err == nil {
+					break
+				}
+				if att < attempts && !sleepCtx(ctx, p.Retry.backoff(keys[i], att)) {
+					err = ctx.Err()
+					break
+				}
+			}
+			if att > attempts {
+				att = attempts
+			}
+			if err == nil {
+				// A failed cache write is not a failed cell: the result
+				// is already held in memory, so degrade to mem-only and
+				// let the hook log/count the disk problem.
+				if cerr := p.Cache.Put(keys[i], res); cerr != nil && p.OnCacheError != nil {
+					p.OnCacheError(keys[i], cerr)
+				}
+			}
+			f.attempts = att
+			p.release(keys[i], f, res, err)
+			if err != nil {
+				quarantine(i, att, err)
+				return
+			}
+			results[i] = res
+			notify(i, false, att, nil, simDur)
+			return
+		}
 	}
 	work := make(chan int)
 	workers := p.workers()
@@ -197,45 +361,10 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				if failed.Load() {
+				if failed.Load() || ctx.Err() != nil {
 					continue
 				}
-				f, owner := p.claim(keys[i])
-				if !owner {
-					// Another Run call is simulating this exact
-					// configuration; adopt its result instead of
-					// duplicating the work.
-					<-f.done
-					if f.err != nil {
-						fail(i, f.err)
-						continue
-					}
-					results[i] = f.res
-					notify(i, true, 0)
-					continue
-				}
-				// Re-check the cache now that we own the key: another
-				// Run call may have finished (and cached) this
-				// configuration between our pre-scan and this claim.
-				if res, ok := p.Cache.Get(keys[i]); ok {
-					p.release(keys[i], f, res, nil)
-					results[i] = res
-					notify(i, true, 0)
-					continue
-				}
-				simStart := time.Now()
-				res, err := netsim.Run(jobs[i].Config)
-				simDur := time.Since(simStart)
-				if err == nil {
-					err = p.Cache.Put(keys[i], res)
-				}
-				p.release(keys[i], f, res, err)
-				if err != nil {
-					fail(i, err)
-					continue
-				}
-				results[i] = res
-				notify(i, false, simDur)
+				execute(i)
 			}
 		}()
 	}
@@ -244,19 +373,43 @@ func (p *Pool) run(jobs []Job, onJob func(JobUpdate)) ([]netsim.Result, int, err
 	}
 	close(work)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			err = cause
+		}
+		return nil, 0, nil, err
+	}
 	if firstEr != nil {
-		return nil, 0, fmt.Errorf("sweep: job %d (%v rep %d): %w",
+		return nil, 0, nil, fmt.Errorf("sweep: job %d (%v rep %d): %w",
 			errIdx, jobs[errIdx].Point, jobs[errIdx].Rep, firstEr)
 	}
 
-	// Fan primaries out to their aliases.
-	for i := range jobs {
-		if pi := primary[keys[i]]; pi != i {
-			results[i] = results[pi]
-			notify(i, true, 0)
-		}
+	// Fan primaries out to their aliases — results and quarantines
+	// alike, so every alias of a failed primary carries the error too.
+	failedAt := make(map[int]CellError, len(cellErrs))
+	for _, ce := range cellErrs {
+		failedAt[ce.Index] = ce
 	}
-	return results, cached, nil
+	for i := range jobs {
+		pi := primary[keys[i]]
+		if pi == i {
+			continue
+		}
+		if ce, bad := failedAt[pi]; bad {
+			errMu.Lock()
+			cellErrs = append(cellErrs, CellError{
+				Index: i, Point: jobs[i].Point, Rep: jobs[i].Rep,
+				Attempts: ce.Attempts, Err: ce.Err,
+			})
+			errMu.Unlock()
+			notify(i, false, ce.Attempts, ce.Err, 0)
+			continue
+		}
+		results[i] = results[pi]
+		notify(i, true, 0, nil, 0)
+	}
+	sort.Slice(cellErrs, func(a, b int) bool { return cellErrs[a].Index < cellErrs[b].Index })
+	return results, cached, cellErrs, nil
 }
 
 // RunSpec compiles the spec and executes it, returning the grouped
@@ -275,18 +428,30 @@ func (p *Pool) RunJobs(jobs []Job) (*Outcome, error) {
 	return p.RunJobsProgress(jobs, nil)
 }
 
-// RunJobsProgress executes an explicit job list like RunJobs,
-// additionally delivering one JobUpdate per resolved job to onJob (when
-// non-nil). Calls are serialized but may come from any worker
-// goroutine; Done strictly increments from 1 to len(jobs). This is the
-// progress feed behind streaming consumers such as the HTTP service's
-// per-cell SSE events.
+// RunJobsProgress is RunJobsProgressContext without cancellation.
 func (p *Pool) RunJobsProgress(jobs []Job, onJob func(JobUpdate)) (*Outcome, error) {
-	results, cached, err := p.run(jobs, onJob)
+	return p.RunJobsProgressContext(context.Background(), jobs, onJob)
+}
+
+// RunJobsProgressContext executes an explicit job list, delivering one
+// JobUpdate per resolved job to onJob (when non-nil). Calls are
+// serialized but may come from any worker goroutine; Done strictly
+// increments from 1 to len(jobs). This is the progress feed behind
+// streaming consumers such as the HTTP service's per-cell SSE events.
+//
+// Execution is partial-failure tolerant: a cell that still fails after
+// its retry budget is quarantined — recorded on Outcome.Errors and
+// reported through its JobUpdate — while the rest of the sweep
+// completes. The returned error is non-nil only for spec-level
+// problems (unencodable configs) or when ctx ends, in which case it is
+// ctx's cause; cancellation takes effect between cell executions (a
+// cell already simulating finishes first).
+func (p *Pool) RunJobsProgressContext(ctx context.Context, jobs []Job, onJob func(JobUpdate)) (*Outcome, error) {
+	results, cached, cellErrs, err := p.run(ctx, jobs, onJob, true)
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{Jobs: jobs, Results: results, Cached: cached}, nil
+	return &Outcome{Jobs: jobs, Results: results, Cached: cached, Errors: cellErrs}, nil
 }
 
 // Grid runs every configuration with runs seeded repetitions (seeds

@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Retry defaults used when a RetryPolicy enables retries but leaves
+// the backoff fields zero.
+const (
+	// DefaultBaseBackoff is the delay before the first retry.
+	DefaultBaseBackoff = 25 * time.Millisecond
+	// DefaultMaxBackoff caps the exponential backoff growth.
+	DefaultMaxBackoff = 2 * time.Second
+)
+
+// RetryPolicy governs per-cell retry of failed or panicked
+// simulations. The zero value disables retries (one attempt per cell,
+// the pre-resilience behavior); MaxAttempts > 1 turns transient cell
+// failures into retries with capped exponential backoff and
+// deterministic jitter, after which the cell is quarantined — reported
+// as a per-cell error instead of retried forever.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per cell before
+	// quarantine (values < 1 mean 1: no retries).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; retry n waits
+	// BaseBackoff << (n-1), jittered (0 selects DefaultBaseBackoff).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (0 selects
+	// DefaultMaxBackoff).
+	MaxBackoff time.Duration
+}
+
+// attempts resolves the per-cell attempt budget.
+func (rp RetryPolicy) attempts() int {
+	if rp.MaxAttempts < 1 {
+		return 1
+	}
+	return rp.MaxAttempts
+}
+
+// backoff computes the delay before retrying a cell after its n-th
+// failed attempt (n >= 1): capped exponential growth with a
+// deterministic jitter factor in [0.5, 1.5) derived from the cell key
+// and attempt — spreading simultaneous retries without making reruns
+// diverge.
+func (rp RetryPolicy) backoff(key string, attempt int) time.Duration {
+	base := rp.BaseBackoff
+	if base <= 0 {
+		base = DefaultBaseBackoff
+	}
+	maxB := rp.MaxBackoff
+	if maxB <= 0 {
+		maxB = DefaultMaxBackoff
+	}
+	d := base
+	for i := 1; i < attempt && d < maxB; i++ {
+		d *= 2
+	}
+	if d > maxB {
+		d = maxB
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d", key, attempt)
+	jitter := 0.5 + float64(h.Sum64()>>11)/float64(1<<53)
+	return time.Duration(float64(d) * jitter)
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// PanicError is a recovered panic from a cell simulation, converted to
+// an ordinary error so one corrupt configuration cannot crash the
+// worker pool (or the process hosting it).
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+// Error renders the panic value; the stack stays available on the
+// struct for logs that want it.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("cell panicked: %v", e.Value)
+}
+
+// CellError records one quarantined cell of a partially failed sweep:
+// the job that could not be simulated, after how many attempts, and
+// why. A sweep executed with RunJobsProgressContext completes with
+// CellErrors on its Outcome instead of failing wholesale.
+type CellError struct {
+	// Index is the failed job's position in the job list.
+	Index int
+	// Point and Rep identify the cell within the sweep grid.
+	Point Point
+	// Rep is the seeded repetition index within the point.
+	Rep int
+	// Attempts is how many times the cell was tried before quarantine.
+	Attempts int
+	// Err is the cell's final error (a *PanicError when the cell
+	// panicked).
+	Err error
+}
+
+// Error summarizes the quarantined cell.
+func (e CellError) Error() string {
+	return fmt.Sprintf("cell %d (%v rep %d) failed after %d attempt(s): %v",
+		e.Index, e.Point, e.Rep, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying cell failure to errors.Is/As.
+func (e CellError) Unwrap() error { return e.Err }

@@ -1,0 +1,250 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"bulktx/internal/faultinject"
+	"bulktx/internal/netsim"
+	"bulktx/internal/params"
+)
+
+// fastRetry keeps the retry tests quick while still exercising the
+// backoff path.
+var fastRetry = RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+
+// retryJobs compiles a small distinct-config job list (one job per
+// sender count).
+func retryJobs(t *testing.T, senders ...int) []Job {
+	t.Helper()
+	base := netsim.DefaultConfig(netsim.ModelSensor, 5, 1, 7)
+	base.Rate = params.HighRate
+	base.Duration = 30 * time.Second
+	jobs, err := Spec{Base: base, Senders: senders, BaseSeed: 7}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func TestInjectedPanicIsRetriedToSuccess(t *testing.T) {
+	plan, err := faultinject.Parse("cell.panic:count=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Activate(plan)()
+
+	jobs := retryJobs(t, 5)
+	pool := &Pool{Workers: 1, Cache: NewCache(), Retry: fastRetry}
+	var updates []JobUpdate
+	out, err := pool.RunJobsProgressContext(context.Background(), jobs, func(u JobUpdate) {
+		updates = append(updates, u)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Errors) != 0 {
+		t.Fatalf("retried cell still quarantined: %v", out.Errors)
+	}
+	if len(updates) != 1 || updates[0].Attempts != 3 || updates[0].Err != nil {
+		t.Fatalf("update = %+v, want success on attempt 3", updates)
+	}
+	if out.Results[0].Events == 0 {
+		t.Error("retried cell produced an empty result")
+	}
+}
+
+func TestPersistentPanicQuarantinesCell(t *testing.T) {
+	plan, err := faultinject.Parse("cell.panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Activate(plan)()
+
+	jobs := retryJobs(t, 5, 6)
+	pool := &Pool{Workers: 1, Cache: NewCache(), Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}}
+	var updates []JobUpdate
+	out, err := pool.RunJobsProgressContext(context.Background(), jobs, func(u JobUpdate) {
+		updates = append(updates, u)
+	})
+	if err != nil {
+		t.Fatalf("partial run returned a run-level error: %v", err)
+	}
+	if len(out.Errors) != len(jobs) {
+		t.Fatalf("quarantined %d of %d cells", len(out.Errors), len(jobs))
+	}
+	for i, ce := range out.Errors {
+		if ce.Index != i || ce.Attempts != 2 {
+			t.Errorf("cell error %d = %+v, want index %d after 2 attempts", i, ce, i)
+		}
+		var pe *PanicError
+		if !errors.As(ce.Err, &pe) {
+			t.Errorf("cell error %d is %T, want *PanicError", i, ce.Err)
+		} else if len(pe.Stack) == 0 {
+			t.Errorf("cell error %d carries no stack", i)
+		}
+	}
+	if len(updates) != len(jobs) {
+		t.Fatalf("got %d updates, want %d (quarantined cells still count)", len(updates), len(jobs))
+	}
+	for _, u := range updates {
+		if u.Err == nil || u.Done == 0 {
+			t.Errorf("quarantine update %+v lacks error or progress", u)
+		}
+	}
+	// Quarantined cells disappear from summaries instead of polluting
+	// them with zero results.
+	if cells := out.Cells(); len(cells) != 0 {
+		t.Errorf("fully failed sweep still summarizes %d cells", len(cells))
+	}
+}
+
+func TestPartialSweepSummarizesSurvivors(t *testing.T) {
+	// With one worker and a fire-count of MaxAttempts, exactly the
+	// first job burns the whole fault budget and quarantines; the
+	// remaining jobs run clean.
+	plan, err := faultinject.Parse("cell.panic:count=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Activate(plan)()
+
+	jobs := retryJobs(t, 5, 6, 7)
+	pool := &Pool{Workers: 1, Cache: NewCache(), Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}}
+	out, err := pool.RunJobsProgressContext(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Errors) != 1 || out.Errors[0].Index != 0 {
+		t.Fatalf("errors = %+v, want exactly job 0 quarantined", out.Errors)
+	}
+	cells := out.Cells()
+	if len(cells) != 2 {
+		t.Fatalf("summarized %d cells, want the 2 survivors", len(cells))
+	}
+	for _, c := range cells {
+		if c.Point.Senders == 5 {
+			t.Error("quarantined point still summarized")
+		}
+	}
+}
+
+func TestWholesaleRunConvertsPanicToError(t *testing.T) {
+	plan, err := faultinject.Parse("cell.panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Activate(plan)()
+
+	pool := &Pool{Workers: 2, Cache: NewCache()}
+	_, err = pool.Run(retryJobs(t, 5))
+	if err == nil {
+		t.Fatal("Run swallowed a panicking cell")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Run error %v (%T) does not unwrap to *PanicError", err, err)
+	}
+}
+
+func TestCancellationStopsBetweenCells(t *testing.T) {
+	plan, err := faultinject.Parse("cell.stall:delay=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Activate(plan)()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	pool := &Pool{Workers: 1, Cache: NewCache()}
+	done := make(chan error, 1)
+	go func() {
+		_, err := pool.RunJobsProgressContext(ctx, retryJobs(t, 5, 6, 7), nil)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not unwind the stalled run")
+	}
+}
+
+func TestDeadlinePropagatesCause(t *testing.T) {
+	plan, err := faultinject.Parse("cell.stall:delay=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Activate(plan)()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	pool := &Pool{Workers: 1, Cache: NewCache()}
+	_, err = pool.RunJobsProgressContext(ctx, retryJobs(t, 5), nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline run returned %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestCacheWriteFailureKeepsResult(t *testing.T) {
+	plan, err := faultinject.Parse("cache.put")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Activate(plan)()
+
+	cache, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hookErrs []error
+	pool := &Pool{Workers: 1, Cache: cache, OnCacheError: func(key string, err error) {
+		hookErrs = append(hookErrs, err)
+	}}
+	jobs := retryJobs(t, 5)
+	out, err := pool.RunJobsProgressContext(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatalf("cache write failure escalated to run failure: %v", err)
+	}
+	if len(out.Errors) != 0 {
+		t.Fatalf("cache write failure quarantined the cell: %v", out.Errors)
+	}
+	if out.Results[0].Events == 0 {
+		t.Error("result lost on cache write failure")
+	}
+	if len(hookErrs) != 1 {
+		t.Fatalf("OnCacheError called %d times, want 1", len(hookErrs))
+	}
+	// The mem tier kept the entry: a warm re-run is served cached.
+	out2, err := pool.RunJobsProgressContext(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Cached != 1 {
+		t.Errorf("warm re-run cached %d, want 1 (mem-only fallback)", out2.Cached)
+	}
+}
+
+func TestBackoffDeterministicCappedGrowing(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 8, BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
+	if a, b := rp.backoff("k", 3), rp.backoff("k", 3); a != b {
+		t.Errorf("backoff not deterministic: %v vs %v", a, b)
+	}
+	if rp.backoff("k", 1) == rp.backoff("other", 1) {
+		t.Error("distinct keys share identical jitter (suspicious)")
+	}
+	for att := 1; att <= 8; att++ {
+		d := rp.backoff("k", att)
+		if d < rp.BaseBackoff/2 {
+			t.Errorf("attempt %d backoff %v below jittered floor", att, d)
+		}
+		if d > rp.MaxBackoff*3/2 {
+			t.Errorf("attempt %d backoff %v above jittered cap", att, d)
+		}
+	}
+}

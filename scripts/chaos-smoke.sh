@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# chaos-smoke.sh — rehearse a mid-sweep crash and assert byte-identical recovery.
+#
+# The drill, end to end:
+#
+#   1. Baseline: run bcp-serve undisturbed, submit a small sweep, save
+#      its results.csv.
+#   2. Chaos: fresh state/cache dirs, BULKTX_FAULTS slows every cell
+#      down, submit the same sweep, SIGKILL the process mid-sweep.
+#   3. Recovery: start a fresh process on the same dirs (no faults).
+#      The journal must resurrect the job under its original id, the
+#      disk cache must serve the pre-crash cells, and the recovered
+#      results.csv must be byte-identical to the baseline.
+#   4. Retry: a run where one cell panics twice must still succeed via
+#      per-cell retries — and still match the baseline bytes.
+#
+# Used by CI (.github/workflows/ci.yml); run it locally before touching
+# the journal, recovery, or retry code. Requires curl and jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+for tool in curl jq; do
+  command -v "$tool" >/dev/null || { echo "chaos-smoke: $tool not found" >&2; exit 1; }
+done
+
+PORT="${CHAOS_PORT:-18090}"
+BASE="http://127.0.0.1:$PORT"
+WORK=$(mktemp -d)
+PID=""
+cleanup() {
+  [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+BIN="$WORK/bcp-serve"
+go build -o "$BIN" ./cmd/bcp-serve
+
+# Small but multi-cell: 2 models x 2 sender counts = 4 cells.
+SWEEP='{"models":["dual","sensor"],"senders":[5,10],"bursts":[100],"runs":1,"duration_s":30}'
+
+# start STATE_DIR CACHE_DIR [FAULT_PLAN [EXTRA_FLAGS...]]
+start() {
+  local state=$1 cache=$2 faults=${3:-}
+  shift; shift; [ $# -gt 0 ] && shift
+  BULKTX_FAULTS="$faults" "$BIN" -addr "127.0.0.1:$PORT" \
+    -state-dir "$state" -cache-dir "$cache" \
+    -job-workers 1 -workers 1 "$@" &
+  PID=$!
+  for i in $(seq 1 50); do
+    curl -sf "$BASE/healthz" >/dev/null && return 0
+    sleep 0.2
+  done
+  echo "chaos-smoke: service on :$PORT never became healthy" >&2
+  return 1
+}
+
+stop() { kill -TERM "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true; PID=""; }
+
+submit_sweep() { curl -sf "$BASE/v1/sweeps" -d "$SWEEP" | jq -r .id; }
+
+job_field() { curl -sf "$BASE/v1/jobs/$1" | jq -r "$2"; }
+
+wait_done() {
+  local id=$1 st=""
+  for i in $(seq 1 300); do
+    st=$(job_field "$id" .state)
+    [ "$st" = done ] && return 0
+    case "$st" in failed|canceled) break ;; esac
+    sleep 0.2
+  done
+  echo "chaos-smoke: job $id never reached done (last state: $st)" >&2
+  curl -s "$BASE/v1/jobs/$id" >&2 || true
+  return 1
+}
+
+metric() { curl -sf "$BASE/metrics" | awk -v m="$1" '$1 == m { print $2 }'; }
+
+echo "== phase 1: baseline (undisturbed run)"
+start "$WORK/state-a" "$WORK/cache-a"
+JOB=$(submit_sweep)
+test -n "$JOB"
+wait_done "$JOB"
+curl -sf "$BASE/v1/jobs/$JOB/artifacts/results.csv" > "$WORK/baseline.csv"
+head -1 "$WORK/baseline.csv" | grep -q '^model,'
+stop
+
+echo "== phase 2: chaos (stall faults, SIGKILL mid-sweep)"
+start "$WORK/state-b" "$WORK/cache-b" 'cell.stall:delay=500ms'
+CHAOS_JOB=$(submit_sweep)
+# Content-keyed ids: the same sweep document must map to the same job
+# id in every process, or recovery could not be tracked across crashes.
+[ "$CHAOS_JOB" = "$JOB" ] || {
+  echo "chaos-smoke: job id drifted across processes ($JOB vs $CHAOS_JOB)" >&2; exit 1; }
+# Let at least one cell land in the disk cache, then crash rudely while
+# the rest of the sweep is still in flight.
+for i in $(seq 1 100); do
+  DONE=$(job_field "$JOB" '.cells_done // 0')
+  [ "${DONE:-0}" -ge 1 ] && break
+  sleep 0.1
+done
+[ "${DONE:-0}" -ge 1 ]
+STATE=$(job_field "$JOB" .state)
+[ "$STATE" = running ] || {
+  echo "chaos-smoke: expected to kill a running job, state=$STATE" >&2; exit 1; }
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+PID=""
+
+echo "== phase 3: recovery (same dirs, no faults)"
+start "$WORK/state-b" "$WORK/cache-b"
+REC=$(metric bulktx_jobs_recovered_total)
+[ "${REC:-0}" -ge 1 ] || {
+  echo "chaos-smoke: journal did not recover any jobs" >&2; exit 1; }
+wait_done "$JOB"
+CACHED=$(metric bulktx_cells_cached_total)
+[ "${CACHED:-0}" -ge 1 ] || {
+  echo "chaos-smoke: recovery re-simulated every cell (disk cache unused)" >&2; exit 1; }
+curl -sf "$BASE/v1/jobs/$JOB/artifacts/results.csv" > "$WORK/recovered.csv"
+stop
+cmp "$WORK/baseline.csv" "$WORK/recovered.csv" || {
+  echo "chaos-smoke: recovered results.csv differs from the baseline" >&2; exit 1; }
+
+echo "== phase 4: fault-injected retries (panic twice, succeed on the third attempt)"
+start "$WORK/state-c" "$WORK/cache-c" 'cell.panic:count=2' -cell-attempts 3
+RETRY_JOB=$(submit_sweep)
+wait_done "$RETRY_JOB"
+RETRIES=$(metric bulktx_cell_retries_total)
+[ "${RETRIES:-0}" -ge 2 ] || {
+  echo "chaos-smoke: expected >=2 cell retries, saw ${RETRIES:-0}" >&2; exit 1; }
+FAILED=$(job_field "$RETRY_JOB" '.cells_failed // 0')
+[ "${FAILED:-0}" -eq 0 ] || {
+  echo "chaos-smoke: $FAILED cells failed despite retry budget" >&2; exit 1; }
+curl -sf "$BASE/v1/jobs/$RETRY_JOB/artifacts/results.csv" > "$WORK/retried.csv"
+stop
+cmp "$WORK/baseline.csv" "$WORK/retried.csv" || {
+  echo "chaos-smoke: retried results.csv differs from the baseline" >&2; exit 1; }
+
+echo "chaos-smoke: OK (crash recovery and retries are byte-identical to the baseline)"
