@@ -1,0 +1,73 @@
+package main
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bulktx/internal/cli"
+)
+
+// goodFlags is a valid baseline each case mutates.
+func goodFlags() flagValues {
+	return flagValues{
+		workers: 0, queue: 16, jobWorkers: 1,
+		maxCells: 100, maxJobs: 64, cellAttempts: 1, leaseCells: 4,
+		drain: 30 * time.Second, readHdrTO: 10 * time.Second,
+		readTO: 30 * time.Second, writeTO: 0, idleTO: 2 * time.Minute,
+		leaseTTL: 10 * time.Second, stealAfter: 5 * time.Second,
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(goodFlags()); err != nil {
+		t.Fatalf("baseline flags rejected: %v", err)
+	}
+	worker := goodFlags()
+	worker.worker = true
+	worker.coordinator = "http://coord:8080"
+	if err := validateFlags(worker); err != nil {
+		t.Fatalf("valid worker flags rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*flagValues)
+	}{
+		{"negative workers", func(v *flagValues) { v.workers = -1 }},
+		{"zero queue", func(v *flagValues) { v.queue = 0 }},
+		{"zero job workers", func(v *flagValues) { v.jobWorkers = 0 }},
+		{"zero max cells", func(v *flagValues) { v.maxCells = 0 }},
+		{"zero max jobs", func(v *flagValues) { v.maxJobs = 0 }},
+		{"zero cell attempts", func(v *flagValues) { v.cellAttempts = 0 }},
+		{"zero drain timeout", func(v *flagValues) { v.drain = 0 }},
+		{"negative read header timeout", func(v *flagValues) { v.readHdrTO = -time.Second }},
+		{"negative read timeout", func(v *flagValues) { v.readTO = -time.Second }},
+		{"negative write timeout", func(v *flagValues) { v.writeTO = -time.Second }},
+		{"negative idle timeout", func(v *flagValues) { v.idleTO = -time.Second }},
+		{"zero lease ttl", func(v *flagValues) { v.leaseTTL = 0 }},
+		{"negative steal after", func(v *flagValues) { v.stealAfter = -time.Second }},
+		{"zero lease cells", func(v *flagValues) { v.leaseCells = 0 }},
+		{"worker without coordinator", func(v *flagValues) { v.worker = true }},
+		{"coordinator without worker", func(v *flagValues) { v.coordinator = "http://coord:8080" }},
+		{"coordinator not a url", func(v *flagValues) { v.worker = true; v.coordinator = "coord:8080" }},
+		{"coordinator bad scheme", func(v *flagValues) { v.worker = true; v.coordinator = "ftp://coord" }},
+		{"coordinator without host", func(v *flagValues) { v.worker = true; v.coordinator = "http://" }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v := goodFlags()
+			c.mutate(&v)
+			err := validateFlags(v)
+			if err == nil {
+				t.Fatal("invalid flags accepted")
+			}
+			// Every rejection must be a usage error so main exits 2 with
+			// the usage hint, per internal/cli conventions.
+			var ue *cli.UsageError
+			if !errors.As(err, &ue) {
+				t.Errorf("error is %T, want *cli.UsageError: %v", err, err)
+			}
+		})
+	}
+}

@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"bulktx/internal/netsim"
+	"bulktx/internal/sweep"
+)
+
+// fabJobs builds n jobs with distinct configurations. The configs are
+// never simulated in the tests that use them — workers fabricate the
+// results — so only key distinctness matters.
+func fabJobs(n int) []sweep.Job {
+	jobs := make([]sweep.Job, n)
+	for i := range jobs {
+		jobs[i] = sweep.Job{Rep: i, Config: netsim.Config{Seed: int64(i + 1)}}
+	}
+	return jobs
+}
+
+// drain leases cells as workerID and completes them with fabricated
+// results until the dispatch goroutine signals done, failing the test
+// on the deadline instead of hanging.
+func drain(t *testing.T, c *Coordinator, workerID string, done <-chan struct{}) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dispatch did not complete in time")
+		}
+		lease, err := c.Lease(workerID, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lease.Cells) == 0 {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		results := make([]CellResult, len(lease.Cells))
+		for i, lc := range lease.Cells {
+			results[i] = CellResult{Key: lc.Key, Result: &netsim.Result{}, Attempts: 1, DurationS: 0.001}
+		}
+		if _, err := c.Complete(workerID, results); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCoordinatorWorkStealing: a deliberately slow worker registers
+// but never leases; the fast worker drains its own share of the plan,
+// then pass 2 of the lease scheduler steals the slow worker's planned
+// cells, so the sweep completes without waiting on the straggler.
+func TestCoordinatorWorkStealing(t *testing.T) {
+	c := New(Options{Pool: &sweep.Pool{Cache: sweep.NewCache()}, LeaseCells: 100})
+	c.Register("slow") // never leases: the deliberate straggler
+	fast := c.Register("fast")
+
+	jobs := fabJobs(10)
+	var (
+		mu       sync.Mutex
+		byWorker = map[string]int{}
+		outcome  *sweep.Outcome
+		runErr   error
+		done     = make(chan struct{})
+	)
+	go func() {
+		defer close(done)
+		outcome, runErr = c.RunJobs(context.Background(), jobs, func(u sweep.JobUpdate) {
+			mu.Lock()
+			byWorker[u.Worker]++
+			mu.Unlock()
+		})
+	}()
+	drain(t, c, fast.WorkerID, done)
+
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if len(outcome.Results) != len(jobs) || len(outcome.Errors) != 0 {
+		t.Fatalf("outcome: %d results, %d errors; want %d results, 0 errors",
+			len(outcome.Results), len(outcome.Errors), len(jobs))
+	}
+	if got := c.Counters().Stolen; got < 1 {
+		t.Errorf("stolen counter = %d, want >= 1 (slow worker's share must be stolen)", got)
+	}
+	if byWorker[fast.WorkerID] != len(jobs) {
+		t.Errorf("fast worker resolved %d cells, want all %d (by-worker: %v)",
+			byWorker[fast.WorkerID], len(jobs), byWorker)
+	}
+}
+
+// TestCoordinatorRequeueOnWorkerLoss: a worker leases cells and goes
+// silent; after the liveness window its leases requeue and a surviving
+// worker finishes the sweep. Straggler duplication is disabled so the
+// expiry path is the only recovery route.
+func TestCoordinatorRequeueOnWorkerLoss(t *testing.T) {
+	c := New(Options{
+		Pool:     &sweep.Pool{Cache: sweep.NewCache()},
+		LeaseTTL: 150 * time.Millisecond, StealAfter: -1, LeaseCells: 3,
+	})
+	doomed := c.Register("doomed")
+	jobs := fabJobs(6)
+	done := make(chan struct{})
+	var runErr error
+	var outcome *sweep.Outcome
+	go func() {
+		defer close(done)
+		outcome, runErr = c.RunJobs(context.Background(), jobs, nil)
+	}()
+
+	// The doomed worker grabs a batch, then never speaks again.
+	grabbed := 0
+	for deadline := time.Now().Add(10 * time.Second); grabbed == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("doomed worker never got a lease")
+		}
+		lease, err := c.Lease(doomed.WorkerID, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grabbed = len(lease.Cells)
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	surv := c.Register("survivor")
+	drain(t, c, surv.WorkerID, done)
+
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if len(outcome.Errors) != 0 {
+		t.Fatalf("outcome errors: %v", outcome.Errors)
+	}
+	cc := c.Counters()
+	if cc.Expired != 1 {
+		t.Errorf("expired counter = %d, want 1", cc.Expired)
+	}
+	if int(cc.Requeued) != grabbed {
+		t.Errorf("requeued counter = %d, want %d (the doomed worker's leases)", cc.Requeued, grabbed)
+	}
+}
+
+// TestCoordinatorLocalFallback: with no workers at all, a dispatched
+// sweep runs on the coordinator's own pool and completes with the same
+// outcome a plain pool run produces.
+func TestCoordinatorLocalFallback(t *testing.T) {
+	spec, err := sweep.ParseSpecJSON([]byte(`{
+		"models": ["sensor"], "senders": [5, 10],
+		"runs": 1, "duration_s": 30, "rate_bps": 2000
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New(Options{Pool: &sweep.Pool{Cache: sweep.NewCache()}})
+	out, err := c.RunJobs(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Counters().LocalCells; int(got) != len(jobs) {
+		t.Errorf("local cells = %d, want %d", got, len(jobs))
+	}
+
+	want, err := (&sweep.Pool{Cache: sweep.NewCache()}).RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotCSV, wantCSV bytes.Buffer
+	if err := sweep.WriteCSV(&gotCSV, out); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.WriteCSV(&wantCSV, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+		t.Errorf("local-fallback CSV diverges from plain pool run:\n got: %s\nwant: %s",
+			gotCSV.Bytes(), wantCSV.Bytes())
+	}
+}
+
+// TestCompleteDuplicateDropped: a second upload for an already
+// resolved cell (the straggler race after a steal) is counted and
+// dropped, never double-resolved.
+func TestCompleteDuplicateDropped(t *testing.T) {
+	c := New(Options{Pool: &sweep.Pool{Cache: sweep.NewCache()}, LeaseCells: 10})
+	a := c.Register("a")
+	b := c.Register("b")
+	jobs := fabJobs(1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c.RunJobs(context.Background(), jobs, nil) //nolint:errcheck // outcome asserted via counters
+	}()
+
+	var lease LeaseResponse
+	for deadline := time.Now().Add(10 * time.Second); len(lease.Cells) == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("no lease in time")
+		}
+		var err error
+		if lease, err = c.Lease(a.WorkerID, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := []CellResult{{Key: lease.Cells[0].Key, Result: &netsim.Result{}, Attempts: 1}}
+	first, err := c.Complete(a.WorkerID, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Complete(b.WorkerID, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if first.Accepted != 1 || first.Duplicate != 0 {
+		t.Errorf("first upload: %+v, want accepted 1", first)
+	}
+	if second.Accepted != 0 || second.Duplicate != 1 {
+		t.Errorf("second upload: %+v, want duplicate 1", second)
+	}
+	if got := c.Counters().Duplicates; got != 1 {
+		t.Errorf("duplicates counter = %d, want 1", got)
+	}
+}
+
+// TestUnknownWorker: lease, heartbeat and upload from an id the
+// coordinator never issued (or already expired) answer
+// ErrUnknownWorker, the signal to re-register.
+func TestUnknownWorker(t *testing.T) {
+	c := New(Options{Pool: &sweep.Pool{}})
+	if _, err := c.Lease("ghost", 1); err != ErrUnknownWorker {
+		t.Errorf("Lease(ghost) = %v, want ErrUnknownWorker", err)
+	}
+	if err := c.Heartbeat("ghost"); err != ErrUnknownWorker {
+		t.Errorf("Heartbeat(ghost) = %v, want ErrUnknownWorker", err)
+	}
+	if _, err := c.Complete("ghost", nil); err != ErrUnknownWorker {
+		t.Errorf("Complete(ghost) = %v, want ErrUnknownWorker", err)
+	}
+}

@@ -1,0 +1,691 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bulktx/internal/netsim"
+	"bulktx/internal/sweep"
+	"bulktx/internal/telemetry"
+)
+
+// Timing defaults. The lease TTL doubles as the liveness window: a
+// worker silent for longer is expired and its leased cells requeued.
+// StealAfter bounds straggler damage: a cell leased for longer may be
+// duplicated onto an idle worker, first result wins (determinism makes
+// both results identical, so the race is benign).
+const (
+	DefaultLeaseTTL   = 10 * time.Second
+	DefaultStealAfter = 5 * time.Second
+	DefaultLeaseCells = 4
+)
+
+// localWorker is the lease-table sentinel for cells the coordinator
+// claimed for its own pool when the fleet went dark. It is not a
+// registered worker, so the reaper never expires it; straggler
+// duplication still applies, letting a rejoining worker take over.
+const localWorker = "(local)"
+
+// cell lease states.
+const (
+	cellPending = iota // waiting for a worker (or the local fallback)
+	cellLeased         // handed to leasedTo, liveness-monitored
+	cellDone           // resolved; res/err are final
+)
+
+// Options configures a Coordinator. The zero value is usable with
+// defaults; Pool should be the serving pool so fleet results land in
+// the shared cache and the local fallback reuses its concurrency.
+type Options struct {
+	// LeaseTTL is the worker liveness window (DefaultLeaseTTL if zero).
+	LeaseTTL time.Duration
+	// StealAfter is the straggler-duplication threshold
+	// (DefaultStealAfter if zero; negative disables duplication).
+	StealAfter time.Duration
+	// LeaseCells caps the cells handed out per lease call
+	// (DefaultLeaseCells if zero).
+	LeaseCells int
+	// Pool executes the local fallback and holds the shared cache.
+	Pool *sweep.Pool
+	// Log receives membership and lease-table events.
+	Log *slog.Logger
+}
+
+// Counters is a snapshot of the coordinator's monotonic event counts,
+// the source of the bulktx_cluster_* metrics.
+type Counters struct {
+	Registered int64 // workers registered
+	Expired    int64 // workers expired after a lapsed liveness window
+	Dispatched int64 // cell leases handed out (including steals)
+	Stolen     int64 // leases that took another worker's planned or overdue cell
+	Requeued   int64 // leased cells returned to pending after their worker expired
+	Results    int64 // cell results accepted from workers
+	Duplicates int64 // uploads for cells already resolved (dropped)
+	LocalCells int64 // cells the coordinator ran on its own pool (no live workers)
+}
+
+type counters struct {
+	registered, expired, dispatched, stolen atomic.Int64
+	requeued, results, duplicates, local    atomic.Int64
+}
+
+// workerState is one membership-table row.
+type workerState struct {
+	id          string
+	name        string
+	seq         int
+	lastSeen    time.Time
+	cellsDone   int64
+	cellsStolen int64
+}
+
+// cell is one unique configuration of a dispatched sweep. indices
+// lists every job-list position carrying this configuration, primary
+// first; aliases are fanned out at emit time exactly like the local
+// pool does.
+type cell struct {
+	key     string
+	cfg     netsim.Config
+	indices []int
+
+	state    int
+	planned  string // shard plan hint; advisory, stealing overrides it
+	leasedTo string
+	leasedAt time.Time
+
+	res      netsim.Result
+	err      error
+	attempts int
+	worker   string
+	dur      time.Duration
+	cached   bool
+}
+
+// dispatch is one sweep in flight across the fleet.
+type dispatch struct {
+	jobs      []sweep.Job
+	cells     []*cell // unique configurations, first-appearance order
+	byKey     map[string]*cell
+	remaining int        // cells not yet done (guarded by Coordinator.mu)
+	resolved  chan *cell // buffered len(cells): never blocks a resolver
+}
+
+// Coordinator owns the fleet: membership, the lease table, the shard
+// plan, the steal scheduler and the result merger. All methods are
+// safe for concurrent use. It degrades gracefully to a single node —
+// with no live workers, dispatched cells run on the local pool — so a
+// coordinator is always at least as capable as a plain bcp-serve.
+type Coordinator struct {
+	leaseTTL   time.Duration
+	stealAfter time.Duration
+	leaseCells int
+	pool       *sweep.Pool
+	log        *slog.Logger
+
+	counters counters
+	cellHist *telemetry.HistogramVec // per-worker cell simulation seconds
+
+	mu         sync.Mutex
+	seq        int
+	workers    map[string]*workerState
+	dispatches []*dispatch
+}
+
+// New builds a Coordinator from o, applying defaults for zero fields.
+func New(o Options) *Coordinator {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = DefaultLeaseTTL
+	}
+	if o.StealAfter == 0 {
+		o.StealAfter = DefaultStealAfter
+	}
+	if o.LeaseCells <= 0 {
+		o.LeaseCells = DefaultLeaseCells
+	}
+	if o.Pool == nil {
+		o.Pool = &sweep.Pool{}
+	}
+	if o.Log == nil {
+		o.Log = slog.New(slog.DiscardHandler)
+	}
+	return &Coordinator{
+		leaseTTL:   o.LeaseTTL,
+		stealAfter: o.StealAfter,
+		leaseCells: o.LeaseCells,
+		pool:       o.Pool,
+		log:        o.Log,
+		cellHist:   telemetry.NewHistogramVec("worker", telemetry.ExpBuckets(0.001, 2, 15)),
+		workers:    make(map[string]*workerState),
+	}
+}
+
+// Register admits a worker and assigns its identity.
+func (c *Coordinator) Register(name string) RegisterResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	id := fmt.Sprintf("w%d", c.seq)
+	c.workers[id] = &workerState{id: id, name: name, seq: c.seq, lastSeen: time.Now()}
+	c.counters.registered.Add(1)
+	c.log.Info("cluster: worker registered", "worker", id, "name", name)
+	return RegisterResponse{
+		WorkerID:  id,
+		LeaseTTLS: c.leaseTTL.Seconds(),
+		PollS:     (c.leaseTTL / 5).Seconds(),
+	}
+}
+
+// Heartbeat refreshes a worker's liveness window.
+func (c *Coordinator) Heartbeat(workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	return nil
+}
+
+// LiveWorkers counts workers inside their liveness window.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveCountLocked(time.Now())
+}
+
+func (c *Coordinator) liveLocked(id string, now time.Time) bool {
+	w := c.workers[id]
+	return w != nil && now.Sub(w.lastSeen) <= c.leaseTTL
+}
+
+func (c *Coordinator) liveCountLocked(now time.Time) int {
+	n := 0
+	for _, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.leaseTTL {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Coordinator) liveIDsLocked(now time.Time) []string {
+	var ids []string
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.leaseTTL {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// reapLocked expires workers whose liveness window lapsed and requeues
+// their leased cells so another worker (or the local fallback) picks
+// them up. Reaping is lazy — it runs on lease calls and dispatch
+// pulses — so an idle coordinator spends nothing on it.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.leaseTTL {
+			continue
+		}
+		delete(c.workers, id)
+		c.counters.expired.Add(1)
+		requeued := 0
+		for _, d := range c.dispatches {
+			for _, cl := range d.cells {
+				if cl.state == cellLeased && cl.leasedTo == id {
+					cl.state = cellPending
+					cl.leasedTo = ""
+					cl.planned = "" // open to any worker now
+					requeued++
+				}
+			}
+		}
+		if requeued > 0 {
+			c.counters.requeued.Add(int64(requeued))
+		}
+		c.log.Warn("cluster: worker expired", "worker", id, "name", w.name, "requeued", requeued)
+	}
+}
+
+// Lease hands the calling worker a batch of cells. Selection runs in
+// three passes: (1) pending cells planned for this worker, unplanned,
+// or planned for a worker that is gone; (2) work stealing — pending
+// cells planned for other live workers, when pass 1 found nothing;
+// (3) straggler duplication — cells leased elsewhere for longer than
+// StealAfter, re-leased to the caller (first upload wins). The call
+// also counts as a heartbeat.
+func (c *Coordinator) Lease(workerID string, max int) (LeaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil {
+		return LeaseResponse{}, ErrUnknownWorker
+	}
+	now := time.Now()
+	w.lastSeen = now
+	c.reapLocked(now)
+	if max <= 0 || max > c.leaseCells {
+		max = c.leaseCells
+	}
+
+	var cells []LeasedCell
+	lease := func(cl *cell, stolen bool) {
+		cl.state = cellLeased
+		cl.leasedTo = workerID
+		cl.leasedAt = now
+		cells = append(cells, LeasedCell{Key: cl.key, Config: cl.cfg, Stolen: stolen})
+		c.counters.dispatched.Add(1)
+		if stolen {
+			c.counters.stolen.Add(1)
+			w.cellsStolen++
+		}
+	}
+
+	// Pass 1: the worker's own share of the plan.
+	for _, d := range c.dispatches {
+		for _, cl := range d.cells {
+			if len(cells) >= max {
+				break
+			}
+			if cl.state != cellPending {
+				continue
+			}
+			if cl.planned == "" || cl.planned == workerID || !c.liveLocked(cl.planned, now) {
+				lease(cl, false)
+			}
+		}
+	}
+	// Pass 2: steal pending work planned for other (live) workers.
+	if len(cells) == 0 {
+		for _, d := range c.dispatches {
+			for _, cl := range d.cells {
+				if len(cells) >= max {
+					break
+				}
+				if cl.state == cellPending {
+					lease(cl, true)
+				}
+			}
+		}
+	}
+	// Pass 3: duplicate a straggler's overdue lease.
+	if len(cells) == 0 && c.stealAfter > 0 {
+		for _, d := range c.dispatches {
+			for _, cl := range d.cells {
+				if len(cells) >= max {
+					break
+				}
+				if cl.state == cellLeased && cl.leasedTo != workerID && now.Sub(cl.leasedAt) > c.stealAfter {
+					lease(cl, true)
+					c.log.Info("cluster: straggler cell duplicated", "cell", cl.key[:16], "worker", workerID)
+				}
+			}
+		}
+	}
+
+	wait := 1.0
+	if len(c.dispatches) > 0 {
+		wait = 0.2
+	}
+	return LeaseResponse{Cells: cells, WaitS: wait}, nil
+}
+
+// resolveLocked finalizes one cell; the caller holds c.mu and must
+// push cl onto d.resolved after unlocking (the channel is buffered to
+// the cell count, so the push never blocks). It reports false when the
+// cell was already done — a duplicate from a straggler race.
+func (c *Coordinator) resolveLocked(d *dispatch, cl *cell, res netsim.Result, err error, attempts int, worker string, dur time.Duration, cached bool) bool {
+	if cl.state == cellDone {
+		return false
+	}
+	cl.state = cellDone
+	cl.res, cl.err = res, err
+	cl.attempts, cl.worker, cl.dur, cl.cached = attempts, worker, dur, cached
+	d.remaining--
+	return true
+}
+
+// resolve is resolveLocked plus locking and the channel push, for
+// resolvers that handle one cell at a time (the local fallback).
+func (c *Coordinator) resolve(d *dispatch, cl *cell, res netsim.Result, err error, attempts int, worker string, dur time.Duration, cached bool) {
+	c.mu.Lock()
+	ok := c.resolveLocked(d, cl, res, err, attempts, worker, dur, cached)
+	c.mu.Unlock()
+	if ok {
+		d.resolved <- cl
+	}
+}
+
+// Complete accepts a worker's executed batch. Results are matched by
+// content key against every active dispatch, so an upload outlives the
+// particular lease that produced it (a coordinator restart resubmits
+// the journaled job; in-flight workers then complete the new dispatch
+// without re-registering their old leases). Successful results are
+// written through to the shared cache. The call counts as a heartbeat.
+func (c *Coordinator) Complete(workerID string, results []CellResult) (CompleteResponse, error) {
+	c.mu.Lock()
+	w := c.workers[workerID]
+	if w == nil {
+		c.mu.Unlock()
+		return CompleteResponse{}, ErrUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	var resp CompleteResponse
+	var done []struct {
+		d  *dispatch
+		cl *cell
+	}
+	for _, r := range results {
+		matched := false
+		var cellErr error
+		if r.Error != "" {
+			// Preserve the worker pool's error text verbatim so a
+			// merged Outcome reads like a local one.
+			cellErr = errors.New(r.Error)
+		}
+		var res netsim.Result
+		if r.Result != nil {
+			res = *r.Result
+		}
+		for _, d := range c.dispatches {
+			cl := d.byKey[r.Key]
+			if cl == nil {
+				continue
+			}
+			if c.resolveLocked(d, cl, res, cellErr, r.Attempts, workerID, time.Duration(r.DurationS*float64(time.Second)), false) {
+				matched = true
+				done = append(done, struct {
+					d  *dispatch
+					cl *cell
+				}{d, cl})
+			}
+		}
+		if matched {
+			w.cellsDone++
+			resp.Accepted++
+			c.counters.results.Add(1)
+		} else {
+			resp.Duplicate++
+			c.counters.duplicates.Add(1)
+		}
+	}
+	c.mu.Unlock()
+
+	for _, e := range done {
+		e.d.resolved <- e.cl
+	}
+	hist := c.cellHist.With(workerID)
+	for _, r := range results {
+		if r.Error == "" && r.Result != nil {
+			// Cache write failures are non-fatal exactly as in the
+			// local pool: the result is already merged in memory.
+			_ = c.pool.Cache.Put(r.Key, *r.Result)
+		}
+		hist.Observe(r.DurationS)
+	}
+	return resp, nil
+}
+
+// RunJobs executes a compiled job list across the fleet and merges the
+// partial outcomes into an Outcome indistinguishable from local pool
+// execution: per-cell JobUpdates with strictly incrementing Done,
+// cache hits and intra-sweep duplicates marked Cached, quarantined
+// cells on Outcome.Errors, Results index-aligned with jobs — so the
+// exported results.csv is byte-identical to a single-process run.
+func (c *Coordinator) RunJobs(ctx context.Context, jobs []sweep.Job, onJob func(sweep.JobUpdate)) (*sweep.Outcome, error) {
+	keys, err := sweep.JobKeys(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collapse the job list to unique cells; later indices with the
+	// same key become aliases resolved by the primary's result.
+	d := &dispatch{jobs: jobs, byKey: make(map[string]*cell)}
+	for i, key := range keys {
+		cl := d.byKey[key]
+		if cl == nil {
+			cl = &cell{key: key, cfg: jobs[i].Config, state: cellPending}
+			d.byKey[key] = cl
+			d.cells = append(d.cells, cl)
+		}
+		cl.indices = append(cl.indices, i)
+	}
+	// Pre-resolve cache hits: cells the fleet already computed (this
+	// sweep's shard plan only covers the misses).
+	for _, cl := range d.cells {
+		if res, ok := c.pool.Cache.Get(cl.key); ok {
+			cl.state = cellDone
+			cl.res = res
+			cl.cached = true
+		} else {
+			d.remaining++
+		}
+	}
+	d.resolved = make(chan *cell, len(d.cells))
+
+	// Progress bookkeeping, all in this goroutine: emit fans a
+	// resolved cell out to its job indices, primary first, with the
+	// same Cached/Attempts semantics as the local pool.
+	total := len(jobs)
+	emitted := 0
+	outcomes := make([]sweep.CellOutcome, 0, total)
+	emit := func(cl *cell) {
+		for n, idx := range cl.indices {
+			co := sweep.CellOutcome{Index: idx}
+			u := sweep.JobUpdate{Index: idx, Point: jobs[idx].Point, Rep: jobs[idx].Rep, Worker: cl.worker}
+			switch {
+			case cl.err != nil:
+				co.Err, co.Attempts = cl.err, cl.attempts
+				u.Err, u.Attempts = cl.err, cl.attempts
+			case n == 0:
+				co.Result, co.Cached, co.Attempts, co.Duration = cl.res, cl.cached, cl.attempts, cl.dur
+				u.Cached, u.Attempts, u.Duration = cl.cached, cl.attempts, cl.dur
+			default:
+				co.Result, co.Cached = cl.res, true
+				u.Cached = true
+				u.Worker = ""
+			}
+			emitted++
+			u.Done, u.Total = emitted, total
+			outcomes = append(outcomes, co)
+			if onJob != nil {
+				onJob(u)
+			}
+		}
+	}
+
+	if d.remaining > 0 {
+		c.mu.Lock()
+		now := time.Now()
+		c.reapLocked(now)
+		var pend []string
+		for _, cl := range d.cells {
+			if cl.state == cellPending {
+				pend = append(pend, cl.key)
+			}
+		}
+		plan := Assign(pend, c.liveIDsLocked(now))
+		for _, cl := range d.cells {
+			if cl.state == cellPending {
+				cl.planned = plan[cl.key]
+			}
+		}
+		c.dispatches = append(c.dispatches, d)
+		c.mu.Unlock()
+		defer c.removeDispatch(d)
+	}
+
+	for _, cl := range d.cells {
+		if cl.state == cellDone {
+			emit(cl)
+		}
+	}
+	if emitted == total {
+		return sweep.MergeOutcome(jobs, outcomes)
+	}
+
+	// Drive the dispatch: emit cells as the fleet resolves them, and
+	// pulse periodically to reap dead workers and fall back to the
+	// local pool when nobody is left to lease.
+	ticker := time.NewTicker(250 * time.Millisecond)
+	defer ticker.Stop()
+	c.pulse(ctx, d)
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		case cl := <-d.resolved:
+			emit(cl)
+			if emitted == total {
+				return sweep.MergeOutcome(jobs, outcomes)
+			}
+		case <-ticker.C:
+			c.pulse(ctx, d)
+		}
+	}
+}
+
+func (c *Coordinator) removeDispatch(d *dispatch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, e := range c.dispatches {
+		if e == d {
+			c.dispatches = append(c.dispatches[:i], c.dispatches[i+1:]...)
+			return
+		}
+	}
+}
+
+// pulse reaps lapsed workers and, when no live worker remains, claims
+// the dispatch's pending cells for the local pool so a sweep never
+// hangs on an empty fleet. Locally claimed cells stay in the lease
+// table under the localWorker sentinel: a worker that (re)joins can
+// still duplicate them through the straggler pass.
+func (c *Coordinator) pulse(ctx context.Context, d *dispatch) {
+	c.mu.Lock()
+	now := time.Now()
+	c.reapLocked(now)
+	if c.liveCountLocked(now) > 0 {
+		c.mu.Unlock()
+		return
+	}
+	var claim []*cell
+	for _, cl := range d.cells {
+		if cl.state == cellPending {
+			cl.state = cellLeased
+			cl.leasedTo = localWorker
+			cl.leasedAt = now
+			claim = append(claim, cl)
+		}
+	}
+	c.mu.Unlock()
+	if len(claim) == 0 {
+		return
+	}
+	c.counters.local.Add(int64(len(claim)))
+	c.log.Info("cluster: no live workers, running cells on local pool", "cells", len(claim))
+	go c.runLocal(ctx, d, claim)
+}
+
+// runLocal executes locally claimed cells on the coordinator's own
+// pool, resolving each as it lands (successes are read back through
+// the shared cache the pool just wrote).
+func (c *Coordinator) runLocal(ctx context.Context, d *dispatch, claim []*cell) {
+	jobs := make([]sweep.Job, len(claim))
+	for i, cl := range claim {
+		jobs[i] = d.jobs[cl.indices[0]]
+	}
+	out, err := c.pool.RunJobsProgressContext(ctx, jobs, func(u sweep.JobUpdate) {
+		cl := claim[u.Index]
+		if u.Err != nil {
+			c.resolve(d, cl, netsim.Result{}, u.Err, u.Attempts, "", 0, false)
+			return
+		}
+		if res, ok := c.pool.Cache.Get(cl.key); ok {
+			c.resolve(d, cl, res, nil, u.Attempts, "", u.Duration, u.Cached)
+		}
+	})
+	if err != nil {
+		return // ctx ended; RunJobs unwinds through its own ctx select
+	}
+	// Sweep up anything the incremental path missed (cache-less pools
+	// cannot read results back per update); resolve is idempotent.
+	failed := make(map[int]sweep.CellError, len(out.Errors))
+	for _, ce := range out.Errors {
+		failed[ce.Index] = ce
+	}
+	for i, cl := range claim {
+		if ce, bad := failed[i]; bad {
+			c.resolve(d, cl, netsim.Result{}, ce.Err, ce.Attempts, "", 0, false)
+			continue
+		}
+		c.resolve(d, cl, out.Results[i], nil, 1, "", 0, false)
+	}
+}
+
+// Status snapshots the fleet for GET /v1/cluster.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	leasedBy := make(map[string]int)
+	st := Status{ActiveJobs: len(c.dispatches)}
+	for _, d := range c.dispatches {
+		for _, cl := range d.cells {
+			switch cl.state {
+			case cellPending:
+				st.CellsPending++
+			case cellLeased:
+				st.CellsLeased++
+				leasedBy[cl.leasedTo]++
+			}
+		}
+	}
+	rows := make([]*workerState, 0, len(c.workers))
+	for _, w := range c.workers {
+		rows = append(rows, w)
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].seq < rows[b].seq })
+	st.Workers = make([]WorkerStatus, 0, len(rows))
+	for _, w := range rows {
+		live := now.Sub(w.lastSeen) <= c.leaseTTL
+		if live {
+			st.LiveWorkers++
+		}
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID: w.id, Name: w.name, Live: live,
+			LastSeenS:   now.Sub(w.lastSeen).Seconds(),
+			CellsDone:   w.cellsDone,
+			CellsStolen: w.cellsStolen,
+			CellsLeased: leasedBy[w.id],
+		})
+	}
+	return st
+}
+
+// Counters snapshots the monotonic event counts.
+func (c *Coordinator) Counters() Counters {
+	return Counters{
+		Registered: c.counters.registered.Load(),
+		Expired:    c.counters.expired.Load(),
+		Dispatched: c.counters.dispatched.Load(),
+		Stolen:     c.counters.stolen.Load(),
+		Requeued:   c.counters.requeued.Load(),
+		Results:    c.counters.results.Load(),
+		Duplicates: c.counters.duplicates.Load(),
+		LocalCells: c.counters.local.Load(),
+	}
+}
+
+// CellHist exposes the per-worker cell simulation latency histogram
+// (bulktx_cluster_cell_seconds) for the metrics endpoint.
+func (c *Coordinator) CellHist() *telemetry.HistogramVec {
+	return c.cellHist
+}

@@ -1,0 +1,70 @@
+// Package cluster turns bcp-serve into a coordinator/worker fleet over
+// the existing HTTP/JSON surface. A Coordinator owns the membership
+// table, lease table, shard planner, steal scheduler and result merger;
+// Workers are plain bcp-serve peers running the pull loop in Worker.
+//
+// Identity is content-based end to end: every cell travels with its
+// sweep cache key (sweep.Key of the configuration), so the whole fleet
+// agrees on which cells are the same simulation — a worker's disk
+// cache, the coordinator's cache and the lease table all dedupe on the
+// same key, and a straggler's late duplicate upload is recognized and
+// dropped instead of corrupting the merge. Because the simulator is
+// deterministic and sweep.MergeOutcome places results by job index, a
+// sweep executed across the fleet produces an Outcome — and a
+// results.csv — byte-identical to single-process execution.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Assign shard-plans cells across workers with rendezvous
+// (highest-random-weight) hashing: each cell key goes to the worker
+// with the highest hash of (worker, key). The plan is deterministic in
+// (keys, workers) as sets — independent of slice order — and minimally
+// disruptive: adding or removing one worker only moves the cells that
+// worker wins or held, never reshuffles the rest. Ties break toward
+// the lexically smallest worker id. The plan is advisory: pass-1 of
+// the lease scheduler prefers it, but stealing overrides it whenever a
+// planned worker lags.
+func Assign(keys []string, workers []string) map[string]string {
+	plan := make(map[string]string, len(keys))
+	if len(workers) == 0 {
+		return plan
+	}
+	sorted := append([]string(nil), workers...)
+	sort.Strings(sorted)
+	for _, key := range keys {
+		var (
+			best     string
+			bestRank uint64
+			have     bool
+		)
+		for _, w := range sorted {
+			h := fnv.New64a()
+			h.Write([]byte(w))
+			h.Write([]byte{0})
+			h.Write([]byte(key))
+			rank := mix64(h.Sum64())
+			if !have || rank > bestRank {
+				best, bestRank, have = w, rank, true
+			}
+		}
+		plan[key] = best
+	}
+	return plan
+}
+
+// mix64 is splitmix64's finalizer: a full-avalanche bijection over the
+// FNV sum. FNV-1a alone mixes trailing bytes weakly — without this,
+// the worker prefix dominates the ordering and one worker wins nearly
+// every key.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

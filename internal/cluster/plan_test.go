@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("cell-key-%04d", i)
+	}
+	return keys
+}
+
+// TestAssignCoversEveryKey: every key lands on exactly one worker from
+// the given set.
+func TestAssignCoversEveryKey(t *testing.T) {
+	keys := testKeys(100)
+	workers := []string{"w1", "w2", "w3"}
+	plan := Assign(keys, workers)
+	if len(plan) != len(keys) {
+		t.Fatalf("plan covers %d keys, want %d", len(plan), len(keys))
+	}
+	valid := map[string]bool{"w1": true, "w2": true, "w3": true}
+	for key, w := range plan {
+		if !valid[w] {
+			t.Errorf("key %s assigned to unknown worker %q", key, w)
+		}
+	}
+}
+
+// TestAssignDeterministic: the plan is a pure function of the key and
+// worker sets, independent of slice order.
+func TestAssignDeterministic(t *testing.T) {
+	keys := testKeys(50)
+	a := Assign(keys, []string{"w1", "w2", "w3"})
+	b := Assign(keys, []string{"w3", "w1", "w2"})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("plan depends on worker slice order")
+	}
+	c := Assign(keys, []string{"w1", "w2", "w3"})
+	if !reflect.DeepEqual(a, c) {
+		t.Error("plan not deterministic across calls")
+	}
+}
+
+// TestAssignMinimalDisruption: removing one worker only reassigns the
+// keys that worker held; everyone else's share is untouched (the
+// rendezvous-hashing property the requeue path relies on).
+func TestAssignMinimalDisruption(t *testing.T) {
+	keys := testKeys(200)
+	full := Assign(keys, []string{"w1", "w2", "w3"})
+	without := Assign(keys, []string{"w1", "w3"})
+	moved := 0
+	for _, key := range keys {
+		switch {
+		case full[key] == "w2":
+			moved++
+		case full[key] != without[key]:
+			t.Errorf("key %s moved %s -> %s though its worker survived", key, full[key], without[key])
+		}
+	}
+	if moved == 0 {
+		t.Error("w2 held no keys; test grid too small to exercise disruption")
+	}
+}
+
+// TestAssignSpread: with enough keys, every worker gets a share (HRW
+// balances in expectation).
+func TestAssignSpread(t *testing.T) {
+	plan := Assign(testKeys(500), []string{"w1", "w2", "w3", "w4"})
+	got := map[string]int{}
+	for _, w := range plan {
+		got[w]++
+	}
+	for _, w := range []string{"w1", "w2", "w3", "w4"} {
+		if got[w] == 0 {
+			t.Errorf("worker %s got no keys out of 500", w)
+		}
+	}
+}
+
+// TestAssignNoWorkers: an empty fleet yields an empty plan, not a
+// panic.
+func TestAssignNoWorkers(t *testing.T) {
+	if plan := Assign(testKeys(5), nil); len(plan) != 0 {
+		t.Errorf("plan over zero workers = %v, want empty", plan)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"errors"
+
+	"bulktx/internal/netsim"
+)
+
+// ErrUnknownWorker marks a lease, result upload or heartbeat from a
+// worker id the coordinator does not know — never registered, or
+// expired after missing its heartbeats. The HTTP layer maps it to 404;
+// a worker receiving it re-registers and continues (the rejoin path).
+var ErrUnknownWorker = errors.New("cluster: unknown worker")
+
+// RegisterRequest is the body of POST /v1/cluster/workers: a worker
+// announcing itself to the coordinator.
+type RegisterRequest struct {
+	// Name is the worker's advertised name (informational; identity is
+	// the worker id the coordinator assigns).
+	Name string `json:"name,omitempty"`
+}
+
+// RegisterResponse acknowledges a registration with the assigned
+// identity and the coordinator's timing contract.
+type RegisterResponse struct {
+	// WorkerID is the assigned identity; every subsequent request
+	// carries it.
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLS is the liveness window in seconds: a worker silent for
+	// longer is expired and its leased cells are requeued.
+	LeaseTTLS float64 `json:"lease_ttl_s"`
+	// PollS is the suggested idle poll interval in seconds.
+	PollS float64 `json:"poll_s"`
+}
+
+// LeaseRequest is the body of POST /v1/cluster/lease: a worker asking
+// for a batch of cells to simulate.
+type LeaseRequest struct {
+	// WorkerID is the identity assigned at registration.
+	WorkerID string `json:"worker_id"`
+	// MaxCells caps the batch (0 or anything above the coordinator's
+	// limit selects the coordinator's lease-cells setting).
+	MaxCells int `json:"max_cells,omitempty"`
+}
+
+// LeasedCell is one cell handed to a worker: the full run
+// configuration plus its fleet-wide content key (the same key the
+// sweep cache uses, so every node agrees on cell identity).
+type LeasedCell struct {
+	// Key is the cell's content key (sweep.Key of the configuration).
+	Key string `json:"key"`
+	// Config is the fully resolved run configuration to simulate.
+	Config netsim.Config `json:"config"`
+	// Stolen marks cells taken off another worker's plan — work
+	// stealing — or duplicated from a straggler's overdue lease.
+	Stolen bool `json:"stolen,omitempty"`
+}
+
+// LeaseResponse carries the leased batch; empty Cells with a WaitS
+// hint means "nothing to do right now, poll again later".
+type LeaseResponse struct {
+	// Cells is the leased batch (possibly empty).
+	Cells []LeasedCell `json:"cells"`
+	// WaitS suggests how long to sleep before the next poll when Cells
+	// is empty.
+	WaitS float64 `json:"wait_s,omitempty"`
+}
+
+// CellResult is one executed cell reported back by a worker.
+type CellResult struct {
+	// Key identifies the cell (LeasedCell.Key).
+	Key string `json:"key"`
+	// Result is the simulation result; nil when the cell failed.
+	Result *netsim.Result `json:"result,omitempty"`
+	// Error is the cell's final failure after the worker's retry
+	// budget; the coordinator quarantines the cell.
+	Error string `json:"error,omitempty"`
+	// Attempts is how many executions the worker's pool consumed.
+	Attempts int `json:"attempts,omitempty"`
+	// DurationS is the cell's simulation wall-clock in seconds.
+	DurationS float64 `json:"duration_s,omitempty"`
+}
+
+// CompleteRequest is the body of POST /v1/cluster/results: a batch of
+// executed cells. An upload also counts as a heartbeat.
+type CompleteRequest struct {
+	// WorkerID is the identity assigned at registration.
+	WorkerID string `json:"worker_id"`
+	// Results is the executed batch.
+	Results []CellResult `json:"results"`
+}
+
+// CompleteResponse acknowledges an upload.
+type CompleteResponse struct {
+	// Accepted counts results that resolved a pending cell.
+	Accepted int `json:"accepted"`
+	// Duplicate counts results for cells already resolved elsewhere
+	// (straggler races after a steal) — harmless, the first result won
+	// and determinism makes both identical.
+	Duplicate int `json:"duplicate"`
+}
+
+// WorkerStatus is one worker's row in the cluster status.
+type WorkerStatus struct {
+	// ID and Name identify the worker.
+	ID   string `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Live reports whether the worker is inside its liveness window.
+	Live bool `json:"live"`
+	// LastSeenS is how long ago the worker was last heard from.
+	LastSeenS float64 `json:"last_seen_s"`
+	// CellsDone counts results the worker delivered; CellsStolen
+	// counts cells it took off other workers' plans.
+	CellsDone   int64 `json:"cells_done"`
+	CellsStolen int64 `json:"cells_stolen"`
+	// CellsLeased counts cells currently leased to the worker.
+	CellsLeased int `json:"cells_leased"`
+}
+
+// Status is the coordinator snapshot served by GET /v1/cluster.
+type Status struct {
+	// Workers lists every registered worker, most recently registered
+	// last.
+	Workers []WorkerStatus `json:"workers"`
+	// LiveWorkers counts workers inside their liveness window.
+	LiveWorkers int `json:"live_workers"`
+	// ActiveJobs counts sweeps currently dispatched across the fleet.
+	ActiveJobs int `json:"active_jobs"`
+	// CellsPending and CellsLeased are the dispatch backlog gauges.
+	CellsPending int `json:"cells_pending"`
+	CellsLeased  int `json:"cells_leased"`
+}

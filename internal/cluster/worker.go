@@ -1,0 +1,273 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"bulktx/internal/sweep"
+)
+
+// Worker is the pull loop a bcp-serve peer runs against a coordinator
+// (the -worker -coordinator=<url> mode): register, lease a batch of
+// cells, simulate them on the local pool (with its own disk cache and
+// retry budget), upload the results, repeat. A heartbeat goroutine
+// keeps the lease alive while a batch simulates; a 404 from any call
+// means the coordinator forgot us (restart, expiry) and triggers
+// re-registration — the rejoin path needs no operator action.
+type Worker struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	Coordinator string
+	// Name is the advertised worker name (informational).
+	Name string
+	// Pool executes leased cells; its cache and retry policy apply.
+	Pool *sweep.Pool
+	// Client is the HTTP client (http.DefaultClient if nil).
+	Client *http.Client
+	// Log receives lifecycle events (discarded if nil).
+	Log *slog.Logger
+	// HeartbeatEvery is the in-batch heartbeat interval (2s if zero).
+	HeartbeatEvery time.Duration
+	// MaxCells caps the cells requested per lease (coordinator's
+	// default if zero).
+	MaxCells int
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+func (w *Worker) log() *slog.Logger {
+	if w.Log != nil {
+		return w.Log
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+func (w *Worker) heartbeatEvery() time.Duration {
+	if w.HeartbeatEvery > 0 {
+		return w.HeartbeatEvery
+	}
+	return 2 * time.Second
+}
+
+// post sends one JSON request to the coordinator, decoding the reply
+// into out when non-nil. A 404 maps to ErrUnknownWorker (the caller
+// re-registers); other non-2xx statuses are plain errors.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		enc, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("cluster: encoding %s request: %w", path, err)
+		}
+		body = bytes.NewReader(enc)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(w.Coordinator, "/")+path, body)
+	if err != nil {
+		return fmt.Errorf("cluster: building %s request: %w", path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return ErrUnknownWorker
+	}
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: %s: status %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return fmt.Errorf("cluster: decoding %s response: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// register announces the worker, retrying with capped backoff until
+// the coordinator answers or ctx ends — a worker may legitimately
+// start before its coordinator does.
+func (w *Worker) register(ctx context.Context) (RegisterResponse, error) {
+	backoff := 500 * time.Millisecond
+	for {
+		var reg RegisterResponse
+		err := w.post(ctx, "/v1/cluster/workers", RegisterRequest{Name: w.Name}, &reg)
+		if err == nil {
+			w.log().Info("cluster: registered with coordinator",
+				"coordinator", w.Coordinator, "worker", reg.WorkerID)
+			return reg, nil
+		}
+		if ctx.Err() != nil {
+			return RegisterResponse{}, context.Cause(ctx)
+		}
+		w.log().Warn("cluster: registration failed, retrying", "error", err, "backoff", backoff)
+		if !sleepCtx(ctx, backoff) {
+			return RegisterResponse{}, context.Cause(ctx)
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// Run drives the worker until ctx ends. The only non-nil return is
+// ctx's cause: every transient failure — coordinator down, lease or
+// upload errors, expiry — is retried or re-registered through.
+func (w *Worker) Run(ctx context.Context) error {
+	reg, err := w.register(ctx)
+	if err != nil {
+		return err
+	}
+	idle := time.Duration(reg.PollS * float64(time.Second))
+	if idle <= 0 {
+		idle = time.Second
+	}
+	for {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		var lease LeaseResponse
+		err := w.post(ctx, "/v1/cluster/lease", LeaseRequest{WorkerID: reg.WorkerID, MaxCells: w.MaxCells}, &lease)
+		switch {
+		case err == ErrUnknownWorker:
+			// Coordinator restarted or expired us; rejoin.
+			if reg, err = w.register(ctx); err != nil {
+				return err
+			}
+			continue
+		case err != nil:
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			w.log().Warn("cluster: lease failed", "error", err)
+			if !sleepCtx(ctx, idle) {
+				return context.Cause(ctx)
+			}
+			continue
+		}
+		if len(lease.Cells) == 0 {
+			wait := time.Duration(lease.WaitS * float64(time.Second))
+			if wait <= 0 {
+				wait = idle
+			}
+			if !sleepCtx(ctx, wait) {
+				return context.Cause(ctx)
+			}
+			continue
+		}
+
+		results, err := w.execute(ctx, reg.WorkerID, lease.Cells)
+		if err != nil {
+			return err // ctx ended mid-batch; leases expire and requeue
+		}
+		if err := w.upload(ctx, &reg, results); err != nil {
+			return err
+		}
+	}
+}
+
+// execute simulates one leased batch on the local pool, heartbeating
+// concurrently so long cells do not expire the lease.
+func (w *Worker) execute(ctx context.Context, workerID string, cells []LeasedCell) ([]CellResult, error) {
+	jobs := make([]sweep.Job, len(cells))
+	for i, lc := range cells {
+		jobs[i] = sweep.Job{Config: lc.Config}
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		for sleepCtx(hbCtx, w.heartbeatEvery()) {
+			// Heartbeat errors (including 404) are deliberately not
+			// fatal here: the next lease call handles re-registration.
+			_ = w.post(hbCtx, "/v1/cluster/workers/"+workerID+"/heartbeat", nil, nil)
+		}
+	}()
+
+	results := make([]CellResult, len(cells))
+	for i := range results {
+		results[i].Key = cells[i].Key
+	}
+	out, err := w.Pool.RunJobsProgressContext(ctx, jobs, func(u sweep.JobUpdate) {
+		r := &results[u.Index]
+		r.Attempts = u.Attempts
+		r.DurationS = u.Duration.Seconds()
+		if u.Err != nil {
+			r.Error = u.Err.Error()
+		}
+	})
+	if err != nil {
+		return nil, context.Cause(ctx)
+	}
+	for i := range results {
+		if results[i].Error == "" {
+			res := out.Results[i]
+			results[i].Result = &res
+		}
+	}
+	return results, nil
+}
+
+// upload delivers a batch's results, retrying transient failures and
+// re-registering on 404 so results computed across a coordinator
+// restart are never dropped (they match the resubmitted job by key).
+func (w *Worker) upload(ctx context.Context, reg *RegisterResponse, results []CellResult) error {
+	backoff := 250 * time.Millisecond
+	for {
+		var ack CompleteResponse
+		err := w.post(ctx, "/v1/cluster/results", CompleteRequest{WorkerID: reg.WorkerID, Results: results}, &ack)
+		if err == nil {
+			w.log().Debug("cluster: results uploaded",
+				"accepted", ack.Accepted, "duplicate", ack.Duplicate)
+			return nil
+		}
+		if err == ErrUnknownWorker {
+			nreg, rerr := w.register(ctx)
+			if rerr != nil {
+				return rerr
+			}
+			*reg = nreg
+			continue
+		}
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		w.log().Warn("cluster: result upload failed, retrying", "error", err, "backoff", backoff)
+		if !sleepCtx(ctx, backoff) {
+			return context.Cause(ctx)
+		}
+		if backoff *= 2; backoff > 5*time.Second {
+			backoff = 5 * time.Second
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until ctx ends, reporting whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	"bulktx/internal/cluster"
+	"bulktx/internal/sweep"
+)
+
+// maxResultsBodyBytes bounds result-upload bodies. Unlike spec
+// submissions, a batch of simulation results carries full metric
+// payloads per cell, so the limit is wider than maxBodyBytes.
+const maxResultsBodyBytes = 8 << 20
+
+// Pool exposes the server's shared sweep pool, so a worker-mode
+// bcp-serve process can execute leased cells on the same pool (and
+// disk cache) its own HTTP surface uses.
+func (s *Server) Pool() *sweep.Pool {
+	return s.pool
+}
+
+// Cluster exposes the fleet coordinator (always non-nil; with no
+// registered workers it simply reports an empty fleet).
+func (s *Server) Cluster() *cluster.Coordinator {
+	return s.cluster
+}
+
+// writeClusterError maps coordinator errors onto API statuses:
+// ErrUnknownWorker is 404 (the worker re-registers), anything else is
+// a 400.
+func writeClusterError(w http.ResponseWriter, err error) {
+	if errors.Is(err, cluster.ErrUnknownWorker) {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, err)
+}
+
+// handleClusterStatus reports the fleet snapshot.
+func (s *Server) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cluster.Status())
+}
+
+// handleClusterRegister admits a worker into the fleet.
+func (s *Server) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	var req cluster.RegisterRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cluster.Register(req.Name))
+}
+
+// handleClusterHeartbeat refreshes a worker's liveness window. The
+// body is ignored: the worker id rides in the path.
+func (s *Server) handleClusterHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if err := s.cluster.Heartbeat(r.PathValue("id")); err != nil {
+		writeClusterError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		// Status acknowledges the heartbeat.
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+// handleClusterLease hands the calling worker a batch of cells.
+func (s *Server) handleClusterLease(w http.ResponseWriter, r *http.Request) {
+	var req cluster.LeaseRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.WorkerID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("worker_id is required"))
+		return
+	}
+	resp, err := s.cluster.Lease(req.WorkerID, req.MaxCells)
+	if err != nil {
+		writeClusterError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleClusterResults accepts a worker's executed batch.
+func (s *Server) handleClusterResults(w http.ResponseWriter, r *http.Request) {
+	var req cluster.CompleteRequest
+	if err := decodeBodyLimit(w, r, &req, maxResultsBodyBytes); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.WorkerID == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("worker_id is required"))
+		return
+	}
+	resp, err := s.cluster.Complete(req.WorkerID, req.Results)
+	if err != nil {
+		writeClusterError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,210 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"bulktx/internal/cluster"
+	"bulktx/internal/sweep"
+)
+
+// clusterSweepBody is a wider grid than sweepBody (2 models x 3 sender
+// counts x 2 reps = 12 cells) so a lost worker actually holds leases
+// when it dies.
+const clusterSweepBody = `{
+	"models": ["sensor", "dual"],
+	"senders": [5, 10, 15],
+	"bursts": [10],
+	"runs": 2,
+	"duration_s": 30,
+	"rate_bps": 2000
+}`
+
+// startWorker runs a cluster.Worker pull loop against the service URL
+// until test cleanup. Each worker gets its own pool and cache — a fully
+// independent "process".
+func startWorker(t *testing.T, url, name string) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	w := &cluster.Worker{
+		Coordinator:    url,
+		Name:           name,
+		Pool:           &sweep.Pool{Cache: sweep.NewCache()},
+		HeartbeatEvery: 50 * time.Millisecond,
+	}
+	go w.Run(ctx) //nolint:errcheck // exits with ctx at cleanup
+}
+
+// waitLiveWorkers blocks until the coordinator sees n live workers.
+func waitLiveWorkers(t *testing.T, svc *Server, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for svc.Cluster().LiveWorkers() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d workers registered in time", svc.Cluster().LiveWorkers(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// resultsCSV submits body to a fresh single-process service and returns
+// the finished sweep's results.csv — the byte-identity baseline.
+func resultsCSV(t *testing.T, body string) []byte {
+	t.Helper()
+	_, ts := newTestService(t, Options{})
+	st := submit(t, ts.URL+"/v1/sweeps", body, http.StatusAccepted)
+	done := waitDone(t, ts.URL, st.ID)
+	if done.State != string(jobDone) || done.CellsFailed != 0 {
+		t.Fatalf("baseline job: state %s, %d failed cells", done.State, done.CellsFailed)
+	}
+	resp, data := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/results.csv")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline results.csv = %d", resp.StatusCode)
+	}
+	return data
+}
+
+// TestClusterSweepByteIdentical is the tentpole acceptance test: a
+// sweep dispatched across an in-process 3-worker fleet completes with a
+// results.csv byte-identical to single-process execution.
+func TestClusterSweepByteIdentical(t *testing.T) {
+	want := resultsCSV(t, clusterSweepBody)
+
+	svc, ts := newTestService(t, Options{})
+	for _, name := range []string{"alpha", "beta", "gamma"} {
+		startWorker(t, ts.URL, name)
+	}
+	waitLiveWorkers(t, svc, 3)
+
+	st := submit(t, ts.URL+"/v1/sweeps", clusterSweepBody, http.StatusAccepted)
+	done := waitDone(t, ts.URL, st.ID)
+	if done.State != string(jobDone) || done.CellsFailed != 0 {
+		t.Fatalf("cluster job: state %s, %d failed cells", done.State, done.CellsFailed)
+	}
+	resp, got := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/results.csv")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster results.csv = %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("cluster results.csv diverges from single-process run:\n got: %s\nwant: %s", got, want)
+	}
+	// The fleet — not the coordinator's local pool — must have done the
+	// work for the comparison to mean anything.
+	if v := metricValue(t, ts.URL, "bulktx_cluster_results_total"); v < 1 {
+		t.Errorf("bulktx_cluster_results_total = %v, want >= 1 (fleet never executed a cell)", v)
+	}
+	if v := metricValue(t, ts.URL, "bulktx_cluster_cells_local_total"); v != 0 {
+		t.Errorf("bulktx_cluster_cells_local_total = %v, want 0 (work leaked to the local pool)", v)
+	}
+}
+
+// TestClusterWorkerLossByteIdentical is the fault half of the
+// acceptance criterion: a worker takes leases and dies mid-sweep; its
+// cells requeue after the liveness window, a surviving worker finishes,
+// and results.csv is still byte-identical to a single-process run.
+func TestClusterWorkerLossByteIdentical(t *testing.T) {
+	want := resultsCSV(t, clusterSweepBody)
+
+	svc, ts := newTestService(t, Options{
+		ClusterLeaseTTL:   500 * time.Millisecond,
+		ClusterStealAfter: -1, // disable straggler duplication: expiry is the only recovery
+		ClusterLeaseCells: 3,
+	})
+	// The doomed worker is driven by hand through the coordinator so the
+	// test controls exactly when it falls silent.
+	c := svc.Cluster()
+	doomed := c.Register("doomed")
+
+	st := submit(t, ts.URL+"/v1/sweeps", clusterSweepBody, http.StatusAccepted)
+
+	grabbed := 0
+	for deadline := time.Now().Add(10 * time.Second); grabbed == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("doomed worker never got a lease")
+		}
+		lease, err := c.Lease(doomed.WorkerID, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grabbed = len(lease.Cells)
+		time.Sleep(2 * time.Millisecond)
+	}
+	// SIGKILL equivalent: the worker holds `grabbed` leases and never
+	// speaks again. The survivor joins and the sweep must still finish.
+	startWorker(t, ts.URL, "survivor")
+
+	done := waitDone(t, ts.URL, st.ID)
+	if done.State != string(jobDone) || done.CellsFailed != 0 {
+		t.Fatalf("job after worker loss: state %s, %d failed cells", done.State, done.CellsFailed)
+	}
+	resp, got := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/artifacts/results.csv")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results.csv = %d", resp.StatusCode)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("results.csv after worker loss diverges from single-process run:\n got: %s\nwant: %s", got, want)
+	}
+	if v := metricValue(t, ts.URL, "bulktx_cluster_leases_requeued_total"); v < float64(grabbed) {
+		t.Errorf("bulktx_cluster_leases_requeued_total = %v, want >= %d (the dead worker's leases)", v, grabbed)
+	}
+	if v := metricValue(t, ts.URL, "bulktx_cluster_workers_expired_total"); v < 1 {
+		t.Errorf("bulktx_cluster_workers_expired_total = %v, want >= 1", v)
+	}
+}
+
+// TestClusterStatusEndpoint: GET /v1/cluster reflects registrations and
+// liveness.
+func TestClusterStatusEndpoint(t *testing.T) {
+	svc, ts := newTestService(t, Options{})
+	resp, body := getBody(t, ts.URL+"/v1/cluster")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/cluster = %d: %s", resp.StatusCode, body)
+	}
+	startWorker(t, ts.URL, "peer")
+	waitLiveWorkers(t, svc, 1)
+
+	status := svc.Cluster().Status()
+	if status.LiveWorkers != 1 || len(status.Workers) != 1 {
+		t.Fatalf("cluster status = %+v, want 1 live worker", status)
+	}
+	if status.Workers[0].Name != "peer" || !status.Workers[0].Live {
+		t.Errorf("worker entry = %+v, want live peer", status.Workers[0])
+	}
+}
+
+// TestClusterRegistrationRoutes exercises the worker-facing HTTP
+// surface directly: register, heartbeat, bad lease, unknown ids.
+func TestClusterRegistrationRoutes(t *testing.T) {
+	_, ts := newTestService(t, Options{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/cluster/workers", `{"name": "probe"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register = %d: %s", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`"worker_id"`)) {
+		t.Fatalf("register response carries no worker_id: %s", body)
+	}
+
+	// Empty worker_id is a client error, not an unknown worker.
+	resp, _ = postJSON(t, ts.URL+"/v1/cluster/lease", `{"worker_id": ""}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("lease with empty worker_id = %d, want 400", resp.StatusCode)
+	}
+	// Unknown ids answer 404 — the worker's signal to re-register.
+	resp, _ = postJSON(t, ts.URL+"/v1/cluster/lease", `{"worker_id": "nosuchworker"}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("lease with unknown worker = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/cluster/workers/nosuchworker/heartbeat", `{}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("heartbeat for unknown worker = %d, want 404", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/cluster/results", `{"worker_id": "nosuchworker", "results": []}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("results from unknown worker = %d, want 404", resp.StatusCode)
+	}
+}

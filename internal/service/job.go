@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"bulktx/internal/cluster"
 	"bulktx/internal/netsim"
 	"bulktx/internal/sweep"
 	"bulktx/internal/trace"
@@ -120,6 +121,10 @@ type JobStatus struct {
 	// CellErrors details the quarantined cells (capped at 100 entries;
 	// CellsFailed is the uncapped total).
 	CellErrors []CellErrorDetail `json:"cell_errors,omitempty"`
+	// CellErrorsTruncated marks that more cells failed than CellErrors
+	// lists: the detail list hit its cap and was cut off, while
+	// CellsFailed kept counting.
+	CellErrorsTruncated bool `json:"cell_errors_truncated,omitempty"`
 	// DeadlineS is the job's execution deadline in seconds (absent
 	// when unbounded).
 	DeadlineS float64 `json:"deadline_s,omitempty"`
@@ -181,8 +186,9 @@ func (j *job) status() JobStatus {
 		ID: j.id, Kind: j.kind, State: string(j.state), Error: j.errText,
 		Cells: len(j.jobs), CellsDone: j.cellsDone, CellsCached: j.cellsCached,
 		CellsFailed: j.cellsFailed, CellErrors: j.cellErrs,
-		DeadlineS: j.deadline.Seconds(),
-		Timings:   j.timingsLocked(),
+		CellErrorsTruncated: j.cellsFailed > len(j.cellErrs),
+		DeadlineS:           j.deadline.Seconds(),
+		Timings:             j.timingsLocked(),
 	}
 	if j.state == jobDone {
 		st.Artifacts = []string{"results.json", "results.csv", "report.md"}
@@ -199,6 +205,7 @@ func (j *job) status() JobStatus {
 type Server struct {
 	mux        *http.ServeMux
 	pool       *sweep.Pool
+	cluster    *cluster.Coordinator
 	queueLimit int
 	maxCells   int
 	maxJobs    int
@@ -427,6 +434,9 @@ type cellEvent struct {
 	// DurationS is the cell's simulation wall-clock in seconds; 0 for
 	// cached cells, which never simulate.
 	DurationS float64 `json:"duration_s"`
+	// Worker names the fleet worker that simulated the cell when the
+	// job ran on a cluster dispatch; empty for local and cached cells.
+	Worker string `json:"worker,omitempty"`
 	// Done and Total are the job's progress counters.
 	Done  int `json:"done"`
 	Total int `json:"total"`
@@ -481,12 +491,24 @@ func (s *Server) runJob(j *job) {
 	s.counters.running.Add(1)
 	s.log.Info("job running", "job", j.id, "kind", j.kind,
 		"cells", len(j.jobs), "queue_wait_s", queueWait.Seconds())
+	// Dispatch across the fleet when live workers exist, else run on
+	// the local pool. Both paths deliver identical JobUpdates and
+	// produce identical Outcomes (merge invariant), so everything below
+	// is dispatch-agnostic.
+	fleet := s.cluster.LiveWorkers()
+	execute := s.pool.RunJobsProgressContext
+	if fleet > 0 {
+		execute = s.cluster.RunJobs
+	}
 	j.stream.publish("started", struct {
-		// Cells is the number of simulations about to run.
-		Cells int `json:"cells"`
-	}{len(j.jobs)})
+		// Cells is the number of simulations about to run; Workers is
+		// the live fleet size when the job dispatches across a cluster
+		// (absent for local execution).
+		Cells   int `json:"cells"`
+		Workers int `json:"workers,omitempty"`
+	}{len(j.jobs), fleet})
 
-	outcome, err := s.pool.RunJobsProgressContext(ctx, j.jobs, func(u sweep.JobUpdate) {
+	outcome, err := execute(ctx, j.jobs, func(u sweep.JobUpdate) {
 		if !u.Cached && u.Err == nil {
 			s.hist.cellSim.ObserveDuration(u.Duration)
 		}
@@ -497,6 +519,7 @@ func (s *Server) runJob(j *job) {
 			Index: u.Index, Point: u.Point.String(), Rep: u.Rep,
 			Cached: u.Cached, Attempts: u.Attempts,
 			DurationS: u.Duration.Seconds(),
+			Worker:    u.Worker,
 			Done:      u.Done, Total: u.Total,
 		}
 		j.mu.Lock()

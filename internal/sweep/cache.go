@@ -46,13 +46,13 @@ func Key(cfg netsim.Config) (string, error) {
 // the same simulations in the same order — the dedupe identity used by
 // the HTTP service to collapse identical spec submissions onto one job.
 func JobsKey(jobs []Job) (string, error) {
+	keys, err := JobKeys(jobs)
+	if err != nil {
+		return "", err
+	}
 	h := sha256.New()
 	fmt.Fprintf(h, "bulktx-sweep-jobs-v%d:", cacheSchema)
-	for _, job := range jobs {
-		key, err := Key(job.Config)
-		if err != nil {
-			return "", err
-		}
+	for _, key := range keys {
 		fmt.Fprintf(h, "%s\n", key)
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil

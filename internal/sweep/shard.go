@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bulktx/internal/netsim"
+)
+
+// JobKeys derives the per-cell content key of every job in the list —
+// the same keys Pool uses for its cache and in-flight dedupe, and the
+// identity a cluster coordinator ships to workers so the whole fleet
+// agrees on which cells are the same simulation. Index i of the result
+// is job i's key; duplicate configurations yield duplicate keys.
+func JobKeys(jobs []Job) ([]string, error) {
+	keys := make([]string, len(jobs))
+	for i, job := range jobs {
+		key, err := Key(job.Config)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = key
+	}
+	return keys, nil
+}
+
+// CellOutcome is one resolved cell of a sharded sweep: the building
+// block MergeOutcome reassembles a full Outcome from, regardless of
+// which worker (or process) executed the cell. Exactly one CellOutcome
+// per job index must exist; the Cached/Attempts fields mirror
+// JobUpdate's semantics so a merged Outcome counts like a local one.
+type CellOutcome struct {
+	// Index is the cell's position in the sweep's job list.
+	Index int
+	// Result is the cell's simulation result (zero when Err is set).
+	Result netsim.Result
+	// Cached marks cells resolved without simulating (cache hits and
+	// intra-sweep duplicates).
+	Cached bool
+	// Attempts is how many executions the cell consumed (0 for cached).
+	Attempts int
+	// Err marks a quarantined cell; it becomes an Outcome.Errors entry.
+	Err error
+	// Duration is the cell's simulation wall-clock (zero for cached).
+	Duration time.Duration
+}
+
+// MergeOutcome reassembles the Outcome of a sweep executed in shards:
+// given the full job list and exactly one CellOutcome per job index —
+// in any order, from any number of shards — it produces an Outcome
+// indistinguishable from single-process execution of the same list:
+// Results index-aligned with Jobs, Errors sorted by index, Cached
+// counting every cell resolved without simulating. Because Results are
+// placed by index and the exporters consume Jobs/Results/Errors only,
+// a merged sweep's results.csv is byte-identical to a local run's.
+func MergeOutcome(jobs []Job, cells []CellOutcome) (*Outcome, error) {
+	if len(cells) != len(jobs) {
+		return nil, fmt.Errorf("sweep: merge: %d cell outcomes for %d jobs", len(cells), len(jobs))
+	}
+	results := make([]netsim.Result, len(jobs))
+	seen := make([]bool, len(jobs))
+	cached := 0
+	var errs []CellError
+	for _, c := range cells {
+		if c.Index < 0 || c.Index >= len(jobs) {
+			return nil, fmt.Errorf("sweep: merge: cell index %d outside job list of %d", c.Index, len(jobs))
+		}
+		if seen[c.Index] {
+			return nil, fmt.Errorf("sweep: merge: duplicate outcome for cell %d", c.Index)
+		}
+		seen[c.Index] = true
+		if c.Err != nil {
+			errs = append(errs, CellError{
+				Index: c.Index, Point: jobs[c.Index].Point, Rep: jobs[c.Index].Rep,
+				Attempts: c.Attempts, Err: c.Err,
+			})
+			continue
+		}
+		results[c.Index] = c.Result
+		if c.Cached {
+			cached++
+		}
+	}
+	sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+	return &Outcome{Jobs: jobs, Results: results, Cached: cached, Errors: errs}, nil
+}

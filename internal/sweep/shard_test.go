@@ -1,0 +1,191 @@
+package sweep_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"bulktx/internal/cluster"
+	"bulktx/internal/netsim"
+	"bulktx/internal/sweep"
+)
+
+// shardSpec compiles a small real grid: 2 models x 3 sender counts =
+// 6 unique cells, fast enough to simulate repeatedly.
+func shardSpec(t *testing.T) []sweep.Job {
+	t.Helper()
+	spec, err := sweep.ParseSpecJSON([]byte(`{
+		"models": ["sensor", "dual"], "senders": [5, 10, 15],
+		"bursts": [10], "runs": 1, "duration_s": 30, "rate_bps": 2000
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// TestJobKeysMatchCellKeys: JobKeys is index-aligned and derives the
+// exact per-cell key sweep.Key produces — the identity contract the
+// whole fleet relies on.
+func TestJobKeysMatchCellKeys(t *testing.T) {
+	jobs := shardSpec(t)
+	keys, err := sweep.JobKeys(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != len(jobs) {
+		t.Fatalf("JobKeys returned %d keys for %d jobs", len(keys), len(jobs))
+	}
+	for i, job := range jobs {
+		want, err := sweep.Key(job.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if keys[i] != want {
+			t.Errorf("key[%d] = %s, want %s", i, keys[i], want)
+		}
+	}
+}
+
+// TestShardInvarianceUnderWorkerCount: sharding the same job list
+// across 1, 2 and 7 workers leaves the cell keys and the JobsKey
+// untouched, and the merged Outcome — and its results.csv — is
+// byte-identical to single-process execution every time.
+func TestShardInvarianceUnderWorkerCount(t *testing.T) {
+	jobs := shardSpec(t)
+	baseKeys, err := sweep.JobKeys(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJobsKey, err := sweep.JobsKey(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := (&sweep.Pool{Cache: sweep.NewCache()}).RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantCSV bytes.Buffer
+	if err := sweep.WriteCSV(&wantCSV, single); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, n := range []int{1, 2, 7} {
+		t.Run(fmt.Sprintf("workers=%d", n), func(t *testing.T) {
+			workers := make([]string, n)
+			for i := range workers {
+				workers[i] = fmt.Sprintf("w%d", i+1)
+			}
+			keys, err := sweep.JobKeys(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range keys {
+				if keys[i] != baseKeys[i] {
+					t.Fatalf("cell key %d changed under %d workers", i, n)
+				}
+			}
+			jk, err := sweep.JobsKey(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if jk != baseJobsKey {
+				t.Fatalf("JobsKey changed under %d workers: %s != %s", n, jk, baseJobsKey)
+			}
+
+			// Execute each worker's share on its own pool and cache —
+			// fully independent "processes" — then merge.
+			plan := cluster.Assign(keys, workers)
+			var cells []sweep.CellOutcome
+			for _, w := range workers {
+				var shard []sweep.Job
+				var indices []int
+				for i, job := range jobs {
+					if plan[keys[i]] == w {
+						shard = append(shard, job)
+						indices = append(indices, i)
+					}
+				}
+				if len(shard) == 0 {
+					continue
+				}
+				out, err := (&sweep.Pool{Cache: sweep.NewCache()}).RunJobs(shard)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for si, i := range indices {
+					cells = append(cells, sweep.CellOutcome{
+						Index: i, Result: out.Results[si], Attempts: 1,
+					})
+				}
+			}
+			merged, err := sweep.MergeOutcome(jobs, cells)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var gotCSV bytes.Buffer
+			if err := sweep.WriteCSV(&gotCSV, merged); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+				t.Errorf("merged results.csv under %d workers diverges from single-process run:\n got: %s\nwant: %s",
+					n, gotCSV.Bytes(), wantCSV.Bytes())
+			}
+		})
+	}
+}
+
+// TestMergeOutcomeValidation: the merger rejects incomplete, duplicate
+// and out-of-range cell sets instead of fabricating a partial Outcome.
+func TestMergeOutcomeValidation(t *testing.T) {
+	jobs := shardSpec(t)[:2]
+	ok := []sweep.CellOutcome{{Index: 0}, {Index: 1}}
+	if _, err := sweep.MergeOutcome(jobs, ok); err != nil {
+		t.Errorf("complete set rejected: %v", err)
+	}
+	cases := []struct {
+		name  string
+		cells []sweep.CellOutcome
+	}{
+		{"missing cell", []sweep.CellOutcome{{Index: 0}}},
+		{"duplicate index", []sweep.CellOutcome{{Index: 0}, {Index: 0}}},
+		{"out of range", []sweep.CellOutcome{{Index: 0}, {Index: 2}}},
+		{"negative index", []sweep.CellOutcome{{Index: 0}, {Index: -1}}},
+	}
+	for _, c := range cases {
+		if _, err := sweep.MergeOutcome(jobs, c.cells); err == nil {
+			t.Errorf("%s: merge accepted invalid cell set", c.name)
+		}
+	}
+}
+
+// TestMergeOutcomeErrorsAndCached: quarantined cells land on
+// Outcome.Errors sorted by index regardless of arrival order, and
+// Cached counts every flagged cell.
+func TestMergeOutcomeErrorsAndCached(t *testing.T) {
+	jobs := shardSpec(t)[:3]
+	boom := errors.New("boom")
+	cells := []sweep.CellOutcome{
+		{Index: 2, Err: boom, Attempts: 3},
+		{Index: 1, Result: netsim.Result{}, Cached: true},
+		{Index: 0, Err: boom, Attempts: 1},
+	}
+	out, err := sweep.MergeOutcome(jobs, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached != 1 {
+		t.Errorf("Cached = %d, want 1", out.Cached)
+	}
+	if len(out.Errors) != 2 || out.Errors[0].Index != 0 || out.Errors[1].Index != 2 {
+		t.Errorf("Errors = %+v, want indices [0 2]", out.Errors)
+	}
+	if out.Errors[0].Attempts != 1 || out.Errors[1].Attempts != 3 {
+		t.Errorf("error attempts = %d/%d, want 1/3", out.Errors[0].Attempts, out.Errors[1].Attempts)
+	}
+}

@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# cluster-smoke.sh — rehearse distributed sweep execution with a worker
+# killed mid-run, and assert the merged results are byte-identical.
+#
+# The drill, end to end:
+#
+#   1. Baseline: run one bcp-serve undisturbed, submit a sweep, save
+#      its results.csv.
+#   2. Cluster: start a coordinator (short -lease-ttl) plus two worker
+#      processes. Worker w1 is fault-slowed so it reliably holds leases
+#      mid-batch; w2 runs clean. Submit the same sweep.
+#   3. Kill: SIGKILL w1 while it holds leased cells. Its leases must
+#      expire and requeue, w2 must finish the sweep, and the merged
+#      results.csv must be byte-identical to the baseline.
+#
+# Used by CI (.github/workflows/ci.yml); run it locally before touching
+# internal/cluster or the lease scheduler. Requires curl and jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+for tool in curl jq; do
+  command -v "$tool" >/dev/null || { echo "cluster-smoke: $tool not found" >&2; exit 1; }
+done
+
+COORD_PORT="${CLUSTER_PORT:-18100}"
+W1_PORT=$((COORD_PORT + 1))
+W2_PORT=$((COORD_PORT + 2))
+BASE="http://127.0.0.1:$COORD_PORT"
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+BIN="$WORK/bcp-serve"
+go build -o "$BIN" ./cmd/bcp-serve
+
+# 2 models x 3 sender counts x 2 reps = 12 cells: enough that a killed
+# worker actually holds work when it dies.
+SWEEP='{"models":["dual","sensor"],"senders":[5,10,15],"bursts":[100],"runs":2,"duration_s":30}'
+
+wait_healthy() {
+  local url=$1
+  for i in $(seq 1 50); do
+    curl -sf "$url/healthz" >/dev/null && return 0
+    sleep 0.2
+  done
+  echo "cluster-smoke: service at $url never became healthy" >&2
+  return 1
+}
+
+submit_sweep() { curl -sf "$BASE/v1/sweeps" -d "$SWEEP" | jq -r .id; }
+
+job_field() { curl -sf "$BASE/v1/jobs/$1" | jq -r "$2"; }
+
+wait_done() {
+  local id=$1 st=""
+  for i in $(seq 1 300); do
+    st=$(job_field "$id" .state)
+    [ "$st" = done ] && return 0
+    case "$st" in failed|canceled) break ;; esac
+    sleep 0.2
+  done
+  echo "cluster-smoke: job $id never reached done (last state: $st)" >&2
+  curl -s "$BASE/v1/jobs/$id" >&2 || true
+  curl -s "$BASE/v1/cluster" >&2 || true
+  return 1
+}
+
+metric() { curl -sf "$BASE/metrics" | awk -v m="$1" '$1 == m { print $2 }'; }
+
+cluster_field() { curl -sf "$BASE/v1/cluster" | jq -r "$1"; }
+
+echo "== phase 1: baseline (single process, undisturbed)"
+"$BIN" -addr "127.0.0.1:$COORD_PORT" -job-workers 1 &
+BASE_PID=$!
+PIDS+=("$BASE_PID")
+wait_healthy "$BASE"
+JOB=$(submit_sweep)
+test -n "$JOB"
+wait_done "$JOB"
+curl -sf "$BASE/v1/jobs/$JOB/artifacts/results.csv" > "$WORK/baseline.csv"
+head -1 "$WORK/baseline.csv" | grep -q '^model,'
+kill -TERM "$BASE_PID"; wait "$BASE_PID" 2>/dev/null || true
+PIDS=()
+
+echo "== phase 2: coordinator + 2 workers"
+"$BIN" -addr "127.0.0.1:$COORD_PORT" -lease-ttl 2s &
+PIDS+=($!)
+wait_healthy "$BASE"
+# w1 is the doomed worker: every cell stalls 500ms so it reliably sits
+# mid-batch holding leases when we kill it. Stalls only add latency —
+# results stay deterministic.
+BULKTX_FAULTS='cell.stall:delay=500ms' "$BIN" -addr "127.0.0.1:$W1_PORT" \
+  -worker -coordinator "$BASE" -worker-name w1 &
+W1_PID=$!
+PIDS+=("$W1_PID")
+"$BIN" -addr "127.0.0.1:$W2_PORT" -worker -coordinator "$BASE" -worker-name w2 &
+PIDS+=($!)
+wait_healthy "http://127.0.0.1:$W1_PORT"
+wait_healthy "http://127.0.0.1:$W2_PORT"
+for i in $(seq 1 50); do
+  LIVE=$(cluster_field .live_workers)
+  [ "${LIVE:-0}" -ge 2 ] && break
+  sleep 0.2
+done
+[ "${LIVE:-0}" -ge 2 ] || {
+  echo "cluster-smoke: only $LIVE of 2 workers registered" >&2; exit 1; }
+
+CJOB=$(submit_sweep)
+# Content-keyed ids: the same sweep maps to the same job id whether the
+# service runs alone or coordinates a fleet.
+[ "$CJOB" = "$JOB" ] || {
+  echo "cluster-smoke: job id drifted between modes ($JOB vs $CJOB)" >&2; exit 1; }
+
+echo "== phase 3: SIGKILL w1 while it holds leases"
+for i in $(seq 1 100); do
+  HELD=$(cluster_field '.workers[] | select(.name=="w1") | .cells_leased')
+  [ "${HELD:-0}" -ge 1 ] && break
+  sleep 0.1
+done
+[ "${HELD:-0}" -ge 1 ] || {
+  echo "cluster-smoke: w1 never held a lease to lose" >&2; exit 1; }
+kill -9 "$W1_PID"
+wait "$W1_PID" 2>/dev/null || true
+
+wait_done "$CJOB"
+FAILED=$(job_field "$CJOB" '.cells_failed // 0')
+[ "${FAILED:-0}" -eq 0 ] || {
+  echo "cluster-smoke: $FAILED cells failed after the worker loss" >&2; exit 1; }
+curl -sf "$BASE/v1/jobs/$CJOB/artifacts/results.csv" > "$WORK/cluster.csv"
+cmp "$WORK/baseline.csv" "$WORK/cluster.csv" || {
+  echo "cluster-smoke: cluster results.csv differs from the single-process baseline" >&2; exit 1; }
+
+EXPIRED=$(metric bulktx_cluster_workers_expired_total)
+[ "${EXPIRED:-0}" -ge 1 ] || {
+  echo "cluster-smoke: the killed worker never expired" >&2; exit 1; }
+REQUEUED=$(metric bulktx_cluster_leases_requeued_total)
+[ "${REQUEUED:-0}" -ge 1 ] || {
+  echo "cluster-smoke: no leases requeued after the worker loss" >&2; exit 1; }
+RESULTS=$(metric bulktx_cluster_results_total)
+[ "${RESULTS:-0}" -ge 12 ] || {
+  echo "cluster-smoke: fleet uploaded ${RESULTS:-0} cells, want all 12" >&2; exit 1; }
+LOCAL=$(metric bulktx_cluster_cells_local_total)
+[ "${LOCAL:-0}" -eq 0 ] || {
+  echo "cluster-smoke: $LOCAL cells leaked to the coordinator's local pool" >&2; exit 1; }
+
+echo "cluster-smoke: OK (worker killed mid-sweep; merged results byte-identical)"
