@@ -158,23 +158,21 @@ func main() {
 }
 
 // compareThroughput measures SimulationThroughput and fails when its
-// events/s fall more than maxRegress below the committed baseline.
-// Events/s is machine-dependent like any wall-clock metric, so the
-// gate is only as sound as the baseline's provenance: regenerate the
-// baseline (bcp-bench -o) on the same runner class that enforces the
-// gate, and widen -max-regress rather than deleting the gate when
-// runner hardware is heterogeneous.
+// events/s fall more than maxRegress below the committed baseline,
+// through the shared bench.Compare gate (cmd/bcp-loadgen gates its
+// service-level baseline through the same implementation). Events/s is
+// machine-dependent like any wall-clock metric, so the gate is only as
+// sound as the baseline's provenance: regenerate the baseline
+// (bcp-bench -o) on the same runner class that enforces the gate, and
+// widen -max-regress rather than deleting the gate when runner
+// hardware is heterogeneous.
 func compareThroughput(baselinePath string, maxRegress float64) error {
-	if maxRegress < 0 || maxRegress >= 1 {
-		return cli.Usagef("max-regress %v outside [0, 1)", maxRegress)
-	}
-	data, err := os.ReadFile(baselinePath)
-	if err != nil {
-		return err
+	if err := bench.ValidateMaxRegress(maxRegress); err != nil {
+		return cli.Usage(err)
 	}
 	var baseline report
-	if err := json.Unmarshal(data, &baseline); err != nil {
-		return fmt.Errorf("parsing %s: %w", baselinePath, err)
+	if err := bench.LoadBaseline(baselinePath, &baseline); err != nil {
+		return err
 	}
 	var want float64
 	for _, b := range baseline.Benchmarks {
@@ -187,16 +185,10 @@ func compareThroughput(baselinePath string, maxRegress float64) error {
 	}
 	fmt.Fprintln(os.Stderr, "running SimulationThroughput...")
 	r := testing.Benchmark(bench.SimulationThroughput)
-	got := r.Extra["events/s"]
-	if got <= 0 {
-		return fmt.Errorf("benchmark reported no events/s metric")
-	}
-	change := got/want - 1
-	fmt.Printf("SimulationThroughput: %.0f events/s vs baseline %.0f (%+.1f%%)\n",
-		got, want, change*100)
-	if got < want*(1-maxRegress) {
-		return fmt.Errorf("throughput regressed %.1f%% (limit %.0f%%): %.0f events/s vs baseline %.0f",
-			-change*100, maxRegress*100, got, want)
-	}
-	return nil
+	return bench.Compare(os.Stdout, []bench.Metric{{
+		Name:           "SimulationThroughput events/s",
+		Baseline:       want,
+		Current:        r.Extra["events/s"],
+		HigherIsBetter: true,
+	}}, maxRegress)
 }

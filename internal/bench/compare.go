@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Metric is one measurement under a -compare regression gate: the
+// committed baseline value against the value just measured. Direction
+// matters — throughput regresses downward, latency upward — so each
+// metric declares which way is better.
+type Metric struct {
+	// Name labels the metric in gate output and failure messages.
+	Name string
+	// Baseline is the committed value; Current is the fresh measurement.
+	Baseline, Current float64
+	// HigherIsBetter selects the regression direction: true gates
+	// Current falling below Baseline (throughput-like), false gates it
+	// rising above (latency-like).
+	HigherIsBetter bool
+}
+
+// ValidateMaxRegress rejects gate thresholds outside [0, 1): the
+// allowed regression is a fraction of the baseline, so 1 or more would
+// accept any value and a negative threshold rejects even perfect runs.
+func ValidateMaxRegress(maxRegress float64) error {
+	if maxRegress < 0 || maxRegress >= 1 {
+		return fmt.Errorf("max-regress %v outside [0, 1)", maxRegress)
+	}
+	return nil
+}
+
+// Compare gates the metrics against maxRegress, printing one line per
+// metric to w, and returns an error naming every metric that regressed
+// beyond the threshold. Wall-clock metrics are machine-dependent, so
+// the gate is only as sound as the baseline's provenance: regenerate
+// baselines on the runner class that enforces the gate, and widen the
+// threshold rather than deleting the gate when hardware is
+// heterogeneous.
+//
+// A metric whose baseline or current value is not positive fails the
+// gate outright: a zero baseline means the committed file predates the
+// metric (regenerate it), and a zero measurement means the run never
+// produced it — both are gate misconfigurations, not regressions.
+func Compare(w io.Writer, metrics []Metric, maxRegress float64) error {
+	if err := ValidateMaxRegress(maxRegress); err != nil {
+		return err
+	}
+	if len(metrics) == 0 {
+		return fmt.Errorf("no metrics to compare")
+	}
+	var failures []string
+	for _, m := range metrics {
+		if m.Baseline <= 0 {
+			failures = append(failures, fmt.Sprintf("%s: baseline value %g is not positive (regenerate the baseline)", m.Name, m.Baseline))
+			continue
+		}
+		if m.Current <= 0 {
+			failures = append(failures, fmt.Sprintf("%s: measured value %g is not positive", m.Name, m.Current))
+			continue
+		}
+		change := m.Current/m.Baseline - 1
+		fmt.Fprintf(w, "%s: %g vs baseline %g (%+.1f%%)\n", m.Name, m.Current, m.Baseline, change*100)
+		if m.HigherIsBetter {
+			if m.Current < m.Baseline*(1-maxRegress) {
+				failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%): %g vs baseline %g",
+					m.Name, -change*100, maxRegress*100, m.Current, m.Baseline))
+			}
+		} else if m.Current > m.Baseline*(1+maxRegress) {
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (limit %.0f%%): %g vs baseline %g",
+				m.Name, change*100, maxRegress*100, m.Current, m.Baseline))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// LoadBaseline reads a committed baseline JSON file into v, rejecting
+// unknown fields so a baseline from a different schema (or a stray
+// file) fails loudly instead of gating against zeros.
+func LoadBaseline(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidateMaxRegress(t *testing.T) {
+	for _, v := range []float64{0, 0.25, 0.999} {
+		if err := ValidateMaxRegress(v); err != nil {
+			t.Errorf("ValidateMaxRegress(%v) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []float64{-0.01, 1, 1.5} {
+		if err := ValidateMaxRegress(v); err == nil {
+			t.Errorf("ValidateMaxRegress(%v) = nil, want error", v)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		name       string
+		metrics    []Metric
+		maxRegress float64
+		wantErr    string // substring; empty means the gate must pass
+	}{
+		{
+			name:    "no metrics",
+			wantErr: "no metrics",
+		},
+		{
+			name:       "bad threshold",
+			metrics:    []Metric{{Name: "m", Baseline: 1, Current: 1, HigherIsBetter: true}},
+			maxRegress: 1.0,
+			wantErr:    "outside [0, 1)",
+		},
+		{
+			name:    "zero baseline fails outright",
+			metrics: []Metric{{Name: "m", Baseline: 0, Current: 5, HigherIsBetter: true}},
+			wantErr: "baseline value 0 is not positive",
+		},
+		{
+			name:    "zero measurement fails outright",
+			metrics: []Metric{{Name: "m", Baseline: 5, Current: 0, HigherIsBetter: true}},
+			wantErr: "measured value 0 is not positive",
+		},
+		{
+			// Exactly at the threshold passes: the gate fails only
+			// strictly beyond the allowed fraction.
+			name:       "regression exactly at threshold",
+			metrics:    []Metric{{Name: "m", Baseline: 100, Current: 75, HigherIsBetter: true}},
+			maxRegress: 0.25,
+		},
+		{
+			name:       "regression just beyond threshold",
+			metrics:    []Metric{{Name: "m", Baseline: 100, Current: 74.9, HigherIsBetter: true}},
+			maxRegress: 0.25,
+			wantErr:    "regression gate failed",
+		},
+		{
+			name:       "improvement passes",
+			metrics:    []Metric{{Name: "m", Baseline: 100, Current: 250, HigherIsBetter: true}},
+			maxRegress: 0.25,
+		},
+		{
+			// Latency-like metrics regress upward.
+			name:       "lower-is-better regression",
+			metrics:    []Metric{{Name: "lat", Baseline: 100, Current: 130, HigherIsBetter: false}},
+			maxRegress: 0.25,
+			wantErr:    "regression gate failed",
+		},
+		{
+			name:       "lower-is-better exactly at threshold",
+			metrics:    []Metric{{Name: "lat", Baseline: 100, Current: 125, HigherIsBetter: false}},
+			maxRegress: 0.25,
+		},
+		{
+			// Every failing metric is named, not just the first.
+			name: "multiple failures aggregate",
+			metrics: []Metric{
+				{Name: "a", Baseline: 100, Current: 10, HigherIsBetter: true},
+				{Name: "b", Baseline: 100, Current: 99, HigherIsBetter: true},
+				{Name: "c", Baseline: 100, Current: 900, HigherIsBetter: false},
+			},
+			maxRegress: 0.25,
+			wantErr:    "a regressed",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := Compare(io.Discard, c.metrics, c.maxRegress)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Compare = %v, want pass", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("Compare = %v, want error containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestCompareAggregatesEveryFailure(t *testing.T) {
+	err := Compare(io.Discard, []Metric{
+		{Name: "a", Baseline: 100, Current: 10, HigherIsBetter: true},
+		{Name: "b", Baseline: 100, Current: 10, HigherIsBetter: true},
+	}, 0.25)
+	if err == nil {
+		t.Fatal("want failure")
+	}
+	for _, name := range []string{"a regressed", "b regressed"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("failure message %q is missing %q", err, name)
+		}
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	type doc struct {
+		// Value is the only known field of the test schema.
+		Value float64 `json:"value"`
+	}
+	write := func(t *testing.T, content string) string {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	t.Run("missing file", func(t *testing.T) {
+		var d doc
+		err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"), &d)
+		if err == nil || !strings.Contains(err.Error(), "reading baseline") {
+			t.Fatalf("got %v, want reading-baseline error", err)
+		}
+	})
+	t.Run("malformed JSON", func(t *testing.T) {
+		var d doc
+		err := LoadBaseline(write(t, `{"value": `), &d)
+		if err == nil || !strings.Contains(err.Error(), "parsing baseline") {
+			t.Fatalf("got %v, want parsing-baseline error", err)
+		}
+	})
+	t.Run("unknown fields rejected", func(t *testing.T) {
+		// A baseline from a different schema must fail loudly instead
+		// of decoding to zeros and gating against garbage.
+		var d doc
+		err := LoadBaseline(write(t, `{"value": 1, "stray": 2}`), &d)
+		if err == nil || !strings.Contains(err.Error(), "stray") {
+			t.Fatalf("got %v, want unknown-field error", err)
+		}
+	})
+	t.Run("valid", func(t *testing.T) {
+		var d doc
+		if err := LoadBaseline(write(t, `{"value": 42.5}`), &d); err != nil {
+			t.Fatal(err)
+		}
+		if d.Value != 42.5 {
+			t.Errorf("value = %v, want 42.5", d.Value)
+		}
+	})
+}

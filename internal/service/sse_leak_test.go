@@ -1,0 +1,98 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// subscriberCount reports how many live SSE subscribers a job's stream
+// holds.
+func subscriberCount(svc *Server, id string) int {
+	svc.mu.Lock()
+	j := svc.jobs[id]
+	svc.mu.Unlock()
+	if j == nil {
+		return 0
+	}
+	j.stream.mu.Lock()
+	defer j.stream.mu.Unlock()
+	return len(j.stream.subs)
+}
+
+// TestRudeSSEDisconnectReleasesSubscriber proves that a client that
+// drops its event stream mid-job — no clean EOF, just a severed
+// connection — costs the service nothing durable: the stream's
+// subscriber registration disappears and the handler goroutine exits,
+// measured as the process goroutine count returning to its
+// pre-subscriber level while the job is still running.
+func TestRudeSSEDisconnectReleasesSubscriber(t *testing.T) {
+	release := make(chan struct{})
+	svc, ts := newTestService(t, Options{Workers: 1})
+	setGate(svc, func(*job) { <-release })
+	defer close(release)
+	st := submit(t, ts.URL+"/v1/runs", runBody, http.StatusAccepted)
+
+	// Let the executor reach the gate so the goroutine count is stable
+	// before measuring.
+	time.Sleep(50 * time.Millisecond)
+	before := runtime.NumGoroutine()
+
+	const rudeSubs = 4
+	for i := 0; i < rudeSubs; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/jobs/"+st.ID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Read through the first replayed event so the handler is past
+		// its history replay and parked in the live loop.
+		br := bufio.NewReader(resp.Body)
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("reading first event: %v", err)
+			}
+			if line == "\n" {
+				break
+			}
+		}
+		if n := subscriberCount(svc, st.ID); n != 1 {
+			t.Fatalf("subscriber count mid-stream = %d, want 1", n)
+		}
+		cancel() // rude: sever the request, no clean shutdown
+		resp.Body.Close()
+
+		// The handler must notice and deregister promptly.
+		deadline := time.Now().Add(10 * time.Second)
+		for subscriberCount(svc, st.ID) != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("subscriber %d still registered 10s after the disconnect", i)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// All handler goroutines must be gone, not parked: the count
+	// settles back to (at most) where it started, with slack for
+	// unrelated runtime/net goroutines that come and go.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC() // nudge finished goroutines off the scheduler
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d 10s after %d rude disconnects, want <= %d (leaked SSE handlers)",
+				runtime.NumGoroutine(), rudeSubs, before+2)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

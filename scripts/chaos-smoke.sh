@@ -18,7 +18,7 @@
 # the journal, recovery, or retry code. Requires curl and jq.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 for tool in curl jq; do
   command -v "$tool" >/dev/null || { echo "chaos-smoke: $tool not found" >&2; exit 1; }

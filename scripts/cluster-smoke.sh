@@ -17,7 +17,7 @@
 # internal/cluster or the lease scheduler. Requires curl and jq.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 for tool in curl jq; do
   command -v "$tool" >/dev/null || { echo "cluster-smoke: $tool not found" >&2; exit 1; }
@@ -89,7 +89,7 @@ PIDS=()
 
 echo "== phase 2: coordinator + 2 workers"
 "$BIN" -addr "127.0.0.1:$COORD_PORT" -lease-ttl 2s &
-PIDS+=($!)
+PIDS+=("$!")
 wait_healthy "$BASE"
 # w1 is the doomed worker: every cell stalls 500ms so it reliably sits
 # mid-batch holding leases when we kill it. Stalls only add latency —
@@ -99,7 +99,7 @@ BULKTX_FAULTS='cell.stall:delay=500ms' "$BIN" -addr "127.0.0.1:$W1_PORT" \
 W1_PID=$!
 PIDS+=("$W1_PID")
 "$BIN" -addr "127.0.0.1:$W2_PORT" -worker -coordinator "$BASE" -worker-name w2 &
-PIDS+=($!)
+PIDS+=("$!")
 wait_healthy "http://127.0.0.1:$W1_PORT"
 wait_healthy "http://127.0.0.1:$W2_PORT"
 for i in $(seq 1 50); do
