@@ -1,0 +1,79 @@
+package core
+
+// Pool recycles the per-run allocations of BCP agents across repeated
+// simulations: hop-queue entries (with their packet backing arrays —
+// Packet is pointer-free, so retained capacity holds nothing alive) and
+// the per-agent bookkeeping maps. Agents built with a Config carrying
+// the pool register themselves; Reset harvests their storage once the
+// run owning them is finished. Not safe for concurrent use; sweep
+// workers each own one.
+type Pool struct {
+	hopQueues []*hopQueue
+	buffers   []map[int]*hopQueue
+	recvs     []map[int]*recvSession
+	dones     []map[int]uint64
+	agents    []*Agent
+}
+
+// getHopQueue hands out a recycled (emptied) hop queue.
+func (p *Pool) getHopQueue() *hopQueue {
+	if n := len(p.hopQueues); n > 0 {
+		q := p.hopQueues[n-1]
+		p.hopQueues = p.hopQueues[:n-1]
+		return q
+	}
+	return &hopQueue{}
+}
+
+// getBuffers hands out a recycled (cleared) next-hop buffer map.
+func (p *Pool) getBuffers() map[int]*hopQueue {
+	if n := len(p.buffers); n > 0 {
+		m := p.buffers[n-1]
+		p.buffers = p.buffers[:n-1]
+		return m
+	}
+	return make(map[int]*hopQueue)
+}
+
+// getRecv hands out a recycled (cleared) receive-session map.
+func (p *Pool) getRecv() map[int]*recvSession {
+	if n := len(p.recvs); n > 0 {
+		m := p.recvs[n-1]
+		p.recvs = p.recvs[:n-1]
+		return m
+	}
+	return make(map[int]*recvSession)
+}
+
+// getLastDone hands out a recycled (cleared) completed-handshake map.
+func (p *Pool) getLastDone() map[int]uint64 {
+	if n := len(p.dones); n > 0 {
+		m := p.dones[n-1]
+		p.dones = p.dones[:n-1]
+		return m
+	}
+	return make(map[int]uint64)
+}
+
+// Reset reclaims the storage of every agent built from the pool since
+// the previous reset. Hop queues are emptied but keep their packet
+// capacity; maps are cleared and kept. Receive sessions are dropped
+// (they carry timers bound to the finished run's scheduler). Callers
+// must not touch the harvested agents afterwards.
+func (p *Pool) Reset() {
+	for _, a := range p.agents {
+		for nh, q := range a.buffers {
+			q.pkts = q.pkts[:0]
+			q.bytes = 0
+			p.hopQueues = append(p.hopQueues, q)
+			delete(a.buffers, nh)
+		}
+		p.buffers = append(p.buffers, a.buffers)
+		clear(a.recv)
+		p.recvs = append(p.recvs, a.recv)
+		clear(a.lastDone)
+		p.dones = append(p.dones, a.lastDone)
+		a.buffers, a.recv, a.lastDone = nil, nil, nil
+	}
+	p.agents = p.agents[:0]
+}

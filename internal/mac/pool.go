@@ -1,0 +1,74 @@
+package mac
+
+import (
+	"bulktx/internal/mempool"
+	"bulktx/internal/radio"
+)
+
+// Pool recycles the per-run allocations of MAC instances across
+// repeated simulations: the MAC structs themselves, the frame-queue
+// backing arrays (transmit and ack queues), and the per-peer
+// bookkeeping maps. MACs built with NewPooled register themselves;
+// Reset harvests their storage once the run owning them is finished.
+// Not safe for concurrent use; sweep workers each own one.
+type Pool struct {
+	macs   mempool.Slab[MAC]
+	queues [][]radio.Frame
+	seqs   []map[radio.NodeID]uint64
+	drops  []map[DropReason]uint64
+	inUse  []*MAC
+}
+
+// getQueue hands out a recycled (cleared) frame-queue backing array, or
+// an empty slice that the MAC's appends will grow.
+func (p *Pool) getQueue() []radio.Frame {
+	if n := len(p.queues); n > 0 {
+		q := p.queues[n-1]
+		p.queues = p.queues[:n-1]
+		return q
+	}
+	return nil
+}
+
+// getSeqMap hands out a recycled (cleared) duplicate-suppression map.
+func (p *Pool) getSeqMap() map[radio.NodeID]uint64 {
+	if n := len(p.seqs); n > 0 {
+		m := p.seqs[n-1]
+		p.seqs = p.seqs[:n-1]
+		return m
+	}
+	return make(map[radio.NodeID]uint64)
+}
+
+// getDropsMap hands out a recycled (cleared) drop-counter map.
+func (p *Pool) getDropsMap() map[DropReason]uint64 {
+	if n := len(p.drops); n > 0 {
+		m := p.drops[n-1]
+		p.drops = p.drops[:n-1]
+		return m
+	}
+	return make(map[DropReason]uint64)
+}
+
+// Reset reclaims the storage of every MAC built from the pool since the
+// previous reset: queue backing arrays are cleared (releasing payload
+// references) and kept, maps are cleared and kept, and the MAC slab
+// rewinds. Callers must not touch the harvested MACs afterwards.
+func (p *Pool) Reset() {
+	for _, m := range p.inUse {
+		if q := m.queue[:cap(m.queue)]; cap(q) > 0 {
+			clear(q)
+			p.queues = append(p.queues, q[:0])
+		}
+		if q := m.ackQueue[:cap(m.ackQueue)]; cap(q) > 0 {
+			clear(q)
+			p.queues = append(p.queues, q[:0])
+		}
+		clear(m.lastSeq)
+		p.seqs = append(p.seqs, m.lastSeq)
+		clear(m.stats.Drops)
+		p.drops = append(p.drops, m.stats.Drops)
+	}
+	p.inUse = p.inUse[:0]
+	p.macs.Reset()
+}

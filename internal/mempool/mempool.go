@@ -1,0 +1,131 @@
+// Package mempool provides arena-style allocators for per-run
+// simulation state. A 100k-node run allocates hundreds of thousands of
+// small objects (transceivers, neighbor lists, MAC queues) that all die
+// together when the run ends; handing them out from growable slabs and
+// recycling whole slabs between runs keeps concurrent sweep workers
+// from fighting the garbage collector over per-object churn.
+//
+// Reuse is determinism-safe by construction: Reset zeroes every
+// handed-out item before rewinding, so memory obtained from a recycled
+// slab is indistinguishable from a fresh allocation.
+package mempool
+
+// slabMinBlock and slabMaxBlock bound the geometric block growth of
+// Slab and Arena. The first block is small so sparse users stay cheap;
+// blocks double up to the cap so dense users (100k nodes) need only a
+// few dozen block allocations ever.
+const (
+	slabMinBlock = 64
+	slabMaxBlock = 65536
+)
+
+// Slab is an arena of values of type T handed out one at a time. Get
+// returns a pointer into the current block; blocks are never moved or
+// freed, so returned pointers stay valid until Reset. The zero Slab is
+// ready to use.
+type Slab[T any] struct {
+	blocks [][]T
+	cur    int // block currently being filled
+	used   int // items handed out from blocks[cur]
+}
+
+// Get returns a pointer to a zeroed T. The pointer stays valid (and is
+// never re-issued) until Reset.
+func (s *Slab[T]) Get() *T {
+	if s.cur == len(s.blocks) || s.used == len(s.blocks[s.cur]) {
+		if s.cur < len(s.blocks) {
+			s.cur++
+		}
+		if s.cur == len(s.blocks) {
+			size := slabMinBlock
+			if s.cur > 0 {
+				size = min(2*len(s.blocks[s.cur-1]), slabMaxBlock)
+			}
+			s.blocks = append(s.blocks, make([]T, size))
+		}
+		s.used = 0
+	}
+	p := &s.blocks[s.cur][s.used]
+	s.used++
+	return p
+}
+
+// Reset zeroes all handed-out values and rewinds the slab, invalidating
+// every pointer Get has returned. The blocks themselves are retained
+// for reuse.
+func (s *Slab[T]) Reset() {
+	for i := 0; i < s.cur && i < len(s.blocks); i++ {
+		clear(s.blocks[i])
+	}
+	if s.cur < len(s.blocks) {
+		clear(s.blocks[s.cur][:s.used])
+	}
+	s.cur, s.used = 0, 0
+}
+
+// Arena is a bump allocator for slices of T. Alloc returns zeroed
+// slices carved from shared blocks; like Slab, blocks never move, so
+// returned slices stay valid until Reset. The zero Arena is ready to
+// use.
+type Arena[T any] struct {
+	blocks [][]T
+	cur    int
+	used   int
+	// big holds dedicated blocks for oversize requests; they are
+	// released (not recycled) at Reset.
+	big [][]T
+}
+
+// Alloc returns a zeroed slice of length n (capacity exactly n, so an
+// append never silently overwrites a neighboring allocation). Requests
+// larger than the block cap get a dedicated block.
+func (a *Arena[T]) Alloc(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	if n > slabMaxBlock {
+		b := make([]T, n)
+		a.big = append(a.big, b)
+		return b[0:n:n]
+	}
+	if a.cur == len(a.blocks) || a.used+n > len(a.blocks[a.cur]) {
+		if a.cur < len(a.blocks) {
+			a.cur++
+		}
+		if a.cur == len(a.blocks) || n > len(a.blocks[a.cur]) {
+			size := slabMinBlock
+			if a.cur > 0 {
+				size = min(2*len(a.blocks[a.cur-1]), slabMaxBlock)
+			}
+			for size < n {
+				size *= 2
+			}
+			block := make([]T, size)
+			if a.cur == len(a.blocks) {
+				a.blocks = append(a.blocks, block)
+			} else {
+				// The retained block is too small for this request;
+				// replace it with a bigger one.
+				a.blocks[a.cur] = block
+			}
+		}
+		a.used = 0
+	}
+	b := a.blocks[a.cur][a.used : a.used+n : a.used+n]
+	a.used += n
+	return b
+}
+
+// Reset zeroes all handed-out memory and rewinds the arena,
+// invalidating every slice Alloc has returned. Regular blocks are
+// retained; oversized dedicated blocks are released.
+func (a *Arena[T]) Reset() {
+	for i := 0; i < a.cur && i < len(a.blocks); i++ {
+		clear(a.blocks[i])
+	}
+	if a.cur < len(a.blocks) {
+		clear(a.blocks[a.cur][:a.used])
+	}
+	a.cur, a.used = 0, 0
+	a.big = nil
+}

@@ -1,0 +1,119 @@
+package mempool
+
+import "testing"
+
+func TestSlabHandsOutZeroedStableDistinctPointers(t *testing.T) {
+	var s Slab[int]
+	const n = 1000
+	ptrs := make([]*int, n)
+	for i := 0; i < n; i++ {
+		p := s.Get()
+		if *p != 0 {
+			t.Fatalf("item %d not zeroed: %d", i, *p)
+		}
+		*p = i + 1
+		ptrs[i] = p
+	}
+	seen := make(map[*int]bool, n)
+	for i, p := range ptrs {
+		if seen[p] {
+			t.Fatalf("pointer %d re-issued", i)
+		}
+		seen[p] = true
+		if *p != i+1 {
+			t.Fatalf("item %d moved or overwritten: got %d", i, *p)
+		}
+	}
+}
+
+func TestSlabResetZeroesAndReusesBlocks(t *testing.T) {
+	var s Slab[int]
+	for i := 0; i < 500; i++ {
+		*s.Get() = 7
+	}
+	firstBlocks := len(s.blocks)
+	s.Reset()
+	for i := 0; i < 500; i++ {
+		p := s.Get()
+		if *p != 0 {
+			t.Fatalf("recycled item %d not zeroed: %d", i, *p)
+		}
+		*p = 9
+	}
+	if len(s.blocks) != firstBlocks {
+		t.Fatalf("reset did not reuse blocks: %d -> %d", firstBlocks, len(s.blocks))
+	}
+}
+
+func TestArenaAllocLengthsAndIsolation(t *testing.T) {
+	var a Arena[byte]
+	sizes := []int{1, 3, 64, 65, 1000, 0, -2, slabMaxBlock + 1}
+	var slices [][]byte
+	for _, n := range sizes {
+		b := a.Alloc(n)
+		want := n
+		if want < 0 {
+			want = 0
+		}
+		if len(b) != want {
+			t.Fatalf("Alloc(%d) returned len %d", n, len(b))
+		}
+		if want > 0 && cap(b) != want {
+			t.Fatalf("Alloc(%d) returned cap %d, want exactly %d", n, cap(b), want)
+		}
+		for i := range b {
+			b[i] = byte(n)
+		}
+		slices = append(slices, b)
+	}
+	for k, b := range slices {
+		n := sizes[k]
+		for i := range b {
+			if b[i] != byte(n) {
+				t.Fatalf("slice %d (len %d) overwritten at %d", k, n, i)
+			}
+		}
+	}
+}
+
+func TestArenaResetZeroesAndReusesBlocks(t *testing.T) {
+	var a Arena[int]
+	for i := 0; i < 100; i++ {
+		b := a.Alloc(37)
+		for j := range b {
+			b[j] = 1
+		}
+	}
+	a.Alloc(slabMaxBlock + 5) // oversize: dedicated block
+	blocks := len(a.blocks)
+	a.Reset()
+	if a.big != nil {
+		t.Fatal("reset retained an oversize block")
+	}
+	for i := 0; i < 100; i++ {
+		b := a.Alloc(37)
+		for j, v := range b {
+			if v != 0 {
+				t.Fatalf("recycled slice %d not zeroed at %d", i, j)
+			}
+		}
+	}
+	if len(a.blocks) != blocks {
+		t.Fatalf("reset did not reuse blocks: %d -> %d", blocks, len(a.blocks))
+	}
+}
+
+func TestArenaReplacesTooSmallRetainedBlock(t *testing.T) {
+	var a Arena[int]
+	a.Alloc(10) // creates the minimum-size first block
+	a.Reset()
+	b := a.Alloc(slabMinBlock + 1) // cannot fit the retained block
+	if len(b) != slabMinBlock+1 {
+		t.Fatalf("got len %d", len(b))
+	}
+	for _, v := range b {
+		if v != 0 {
+			t.Fatal("replacement block not zeroed")
+		}
+	}
+}

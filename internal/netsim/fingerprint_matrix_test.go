@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"bulktx/internal/params"
+	"bulktx/internal/sim"
+)
+
+// backendMatrix names every (event queue, neighbor index) combination
+// the simulator can run under. The scheduler backends and the lazy
+// spatial-hash index are pure performance substitutions: a fixed-seed
+// run must produce byte-identical Results under all of them.
+var backendMatrix = []struct {
+	name   string
+	policy sim.QueuePolicy
+	dense  bool
+}{
+	{"heap-lazy", sim.QueueHeap, false},
+	{"heap-dense", sim.QueueHeap, true},
+	{"calendar-lazy", sim.QueueCalendar, false},
+	{"calendar-dense", sim.QueueCalendar, true},
+	{"auto-lazy", sim.QueueAuto, false},
+}
+
+// TestFingerprintMatrixAcrossBackends pins the PR 2 golden fingerprints
+// under every backend combination: swapping the 4-ary heap for the
+// calendar queue, or the dense eager neighbor table for the lazy
+// spatial-hash index, must not move a single byte of any Result.
+func TestFingerprintMatrixAcrossBackends(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"sensor", shortConfig(ModelSensor, 5, 100, 1)},
+		{"wifi", shortConfig(ModelWifi, 5, 100, 1)},
+		{"dual", shortConfig(ModelDual, 5, 100, 1)},
+		{"multihop", func() Config {
+			c := MultiHopConfig(5, 100, 1)
+			c.Duration = testDuration
+			return c
+		}()},
+	} {
+		for _, b := range backendMatrix {
+			t.Run(tc.name+"/"+b.name, func(t *testing.T) {
+				s, err := tc.cfg.Scenario(
+					WithEventQueue(b.policy),
+					WithDenseNeighborIndex(b.dense),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := RunScenario(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := fingerprint(t, res); got != goldenPR2[tc.name] {
+					t.Errorf("backend %s drifted from the PR 2 baseline:\n got %s\nwant %s",
+						b.name, got, goldenPR2[tc.name])
+				}
+			})
+		}
+	}
+}
+
+// TestFingerprintMatrixLossyScenario covers the probabilistic path: a
+// distance-dependent loss model draws from the channel RNG on every
+// reception, so any backend that perturbed event order or neighbor
+// iteration order would desynchronize the RNG stream and change the
+// outcome. All backends must agree byte-for-byte with each other.
+func TestFingerprintMatrixLossyScenario(t *testing.T) {
+	build := func(policy sim.QueuePolicy, dense bool) *Scenario {
+		t.Helper()
+		s, err := NewScenario(
+			WithModel(ModelSensor),
+			WithSenders(5),
+			WithWorkload(CBRWorkload(params.HighRate)),
+			WithLinks(LinkModel{SensorLossAt: DistanceLoss(0, 0.4, 40)}),
+			WithDuration(scenarioDuration),
+			WithSeed(1),
+			WithEventQueue(policy),
+			WithDenseNeighborIndex(dense),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	baseline, err := RunScenario(build(sim.QueueHeap, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.SensorStats.NoiseLosses == 0 {
+		t.Fatal("lossy scenario lost nothing; the matrix is not exercising the RNG path")
+	}
+	want := fingerprint(t, baseline)
+	for _, b := range backendMatrix {
+		t.Run(b.name, func(t *testing.T) {
+			res, err := RunScenario(build(b.policy, b.dense))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprint(t, res); got != want {
+				t.Errorf("lossy run diverged under %s:\n got %s\nwant %s", b.name, got, want)
+			}
+		})
+	}
+}
+
+// goldenScaling10k pins NewScalingScenario(10000, 2 s): a 100x100 grid
+// at exact 40 m spacing with 100 CBR senders. The pending-event count
+// sits well above sim.CalendarThreshold, so the auto policy runs this
+// on the calendar queue while the explicit heap policy replays it on
+// the 4-ary heap — both must land on this exact hash. Regenerate with:
+//
+//	go test ./internal/netsim -run ScalingFingerprint10k -v
+//
+// after any intentional behavior change (and say so in the PR).
+const goldenScaling10k = "5369484b35277d748b7456aa0a767050a2751706429370f1a2dba01e7dac48a6"
+
+// TestScalingFingerprint10kGrid holds the committed large-grid baseline
+// under both queue backends and the lazy index (a 10k-node dense eager
+// index is exactly the O(N^2) table this PR removes, so it is not part
+// of the large matrix).
+func TestScalingFingerprint10kGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-node grid runs take a few seconds")
+	}
+	for _, policy := range []sim.QueuePolicy{sim.QueueAuto, sim.QueueHeap, sim.QueueCalendar} {
+		s, err := NewScalingScenario(10000, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.queuePolicy = policy
+		res, err := RunScenario(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprint(t, res); got != goldenScaling10k {
+			t.Errorf("10k grid fingerprint drifted under policy %d:\n got %s\nwant %s",
+				policy, got, goldenScaling10k)
+		}
+	}
+}

@@ -106,10 +106,38 @@ func RunScenario(s *Scenario) (Result, error) {
 	return runInstrumented(s, nil)
 }
 
+// runArena bundles the per-run allocation pools of one simulation: the
+// radio, MAC and agent layers all draw their per-node objects from it,
+// and the whole set is recycled through a sync.Pool between runs so
+// concurrent sweep workers stop churning the garbage collector.
+type runArena struct {
+	// radio, mac and core are the layer pools threaded into the model
+	// builders for one run at a time.
+	radio radio.Pool
+	mac   mac.Pool
+	core  core.Pool
+}
+
+// arenaPool recycles runArenas across runs. Each checked-out arena is
+// owned by exactly one run at a time (the engine is single-threaded
+// within a run), so the layer pools need no locking.
+var arenaPool = sync.Pool{New: func() any { return new(runArena) }}
+
 // runInstrumented executes a scenario with an optional per-node wifi
 // meter probe.
 func runInstrumented(s *Scenario, probe func(i int, wifi *energy.Meter, on bool)) (Result, error) {
-	sched := sim.NewScheduler(s.seed)
+	arena := arenaPool.Get().(*runArena)
+	// Reset after the result is assembled (deferred calls run after the
+	// return value is computed): everything collected into the Result is
+	// a copy, and energy meters — which RunDebug probes hand out past
+	// the run — are individually heap-allocated, never pooled.
+	defer func() {
+		arena.core.Reset()
+		arena.mac.Reset()
+		arena.radio.Reset()
+		arenaPool.Put(arena)
+	}()
+	sched := sim.NewSchedulerPolicy(s.seed, s.queuePolicy)
 	recorder := workload.NewRecorder(sched)
 	var tr *trace.Collector
 	if s.traceOn {
@@ -126,11 +154,11 @@ func runInstrumented(s *Scenario, probe func(i int, wifi *energy.Meter, on bool)
 
 	switch s.model {
 	case ModelSensor:
-		sensorM, emit, err = buildSensorModel(s, sched, recorder, tr)
+		sensorM, emit, err = buildSensorModel(s, sched, recorder, tr, arena)
 	case ModelWifi:
-		wifiM, emit, err = buildWifiModel(s, sched, recorder, tr)
+		wifiM, emit, err = buildWifiModel(s, sched, recorder, tr, arena)
 	case ModelDual:
-		sensorM, wifiM, agents, emit, err = buildDualModel(s, sched, recorder, tr)
+		sensorM, wifiM, agents, emit, err = buildDualModel(s, sched, recorder, tr, arena)
 	default:
 		err = fmt.Errorf("netsim: unhandled model %v", s.model)
 	}
@@ -319,6 +347,7 @@ func buildSensorModel(
 	sched *sim.Scheduler,
 	recorder *workload.Recorder,
 	tr *trace.Collector,
+	arena *runArena,
 ) ([]*mac.MAC, []func(core.Packet), error) {
 	layout, sink := s.layout, s.sinkID
 	nodes := layout.Len()
@@ -328,6 +357,8 @@ func buildSensorModel(
 		LossProb:   s.links.SensorLoss,
 		LossAt:     s.links.SensorLossAt,
 		HeaderSize: params.SensorHeader,
+		EagerIndex: s.denseIndex,
+		Pool:       &arena.radio,
 	}, layout)
 	if err != nil {
 		return nil, nil, err
@@ -344,7 +375,7 @@ func buildSensorModel(
 			return nil, nil, err
 		}
 		x.Meter().SetFreeState(energy.Idle, true)
-		m, err := mac.New(mac.SensorParams(), sched, x)
+		m, err := mac.NewPooled(mac.SensorParams(), sched, x, &arena.mac)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -367,6 +398,7 @@ func buildWifiModel(
 	sched *sim.Scheduler,
 	recorder *workload.Recorder,
 	tr *trace.Collector,
+	arena *runArena,
 ) ([]*mac.MAC, []func(core.Packet), error) {
 	layout, sink := s.layout, s.sinkID
 	nodes := layout.Len()
@@ -381,6 +413,8 @@ func buildWifiModel(
 		LossProb:   s.links.WifiLoss,
 		LossAt:     s.links.WifiLossAt,
 		HeaderSize: params.WifiHeader,
+		EagerIndex: s.denseIndex,
+		Pool:       &arena.radio,
 	}, layout)
 	if err != nil {
 		return nil, nil, err
@@ -396,7 +430,7 @@ func buildWifiModel(
 		if err != nil {
 			return nil, nil, err
 		}
-		m, err := mac.New(mac.WifiParams(), sched, x)
+		m, err := mac.NewPooled(mac.WifiParams(), sched, x, &arena.mac)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -421,6 +455,7 @@ func buildDualModel(
 	sched *sim.Scheduler,
 	recorder *workload.Recorder,
 	tr *trace.Collector,
+	arena *runArena,
 ) ([]*mac.MAC, []*mac.MAC, []*core.Agent, []func(core.Packet), error) {
 	layout, sink := s.layout, s.sinkID
 	nodes := layout.Len()
@@ -430,6 +465,8 @@ func buildDualModel(
 		LossProb:   s.links.SensorLoss,
 		LossAt:     s.links.SensorLossAt,
 		HeaderSize: params.SensorHeader,
+		EagerIndex: s.denseIndex,
+		Pool:       &arena.radio,
 	}, layout)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -446,6 +483,8 @@ func buildDualModel(
 		LossAt:        s.links.WifiLossAt,
 		WakeupLatency: params.WifiWakeupLatency,
 		HeaderSize:    params.WifiHeader,
+		EagerIndex:    s.denseIndex,
+		Pool:          &arena.radio,
 	}, layout)
 	if err != nil {
 		return nil, nil, nil, nil, err
@@ -485,11 +524,11 @@ func buildDualModel(
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		sm, err := mac.New(mac.SensorParams(), sched, sx)
+		sm, err := mac.NewPooled(mac.SensorParams(), sched, sx, &arena.mac)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
-		wm, err := mac.New(mac.WifiParams(), sched, wx)
+		wm, err := mac.NewPooled(mac.WifiParams(), sched, wx, &arena.mac)
 		if err != nil {
 			return nil, nil, nil, nil, err
 		}
@@ -502,6 +541,7 @@ func buildDualModel(
 		wireTraceMACDrops(tr, i, sm)
 
 		agentCfg := core.DefaultConfig(i, s.burstPackets)
+		agentCfg.Pool = &arena.core
 		agentCfg.PostBurstLinger = s.postBurstLinger
 		if s.minGrantPackets > 0 {
 			agentCfg.MinGrant = units.ByteSize(s.minGrantPackets) * params.SensorPayload

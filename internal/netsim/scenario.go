@@ -2,10 +2,12 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"bulktx/internal/energy"
 	"bulktx/internal/params"
+	"bulktx/internal/sim"
 	"bulktx/internal/topo"
 	"bulktx/internal/trace"
 	"bulktx/internal/units"
@@ -132,6 +134,14 @@ type Scenario struct {
 	traceOn   bool
 	traceOpts trace.Options
 
+	// queuePolicy selects the scheduler's event-queue backend (zero
+	// value sim.QueueAuto); denseIndex forces eager neighbor-index
+	// materialization on the radio channels. Both are performance
+	// toggles with no effect on results — the fingerprint matrix test
+	// holds every combination to identical bytes.
+	queuePolicy sim.QueuePolicy
+	denseIndex  bool
+
 	// Resolved at build time.
 	layout      *topo.Layout
 	sinkID      int
@@ -251,6 +261,24 @@ func WithTrace(o trace.Options) Option {
 	}
 }
 
+// WithEventQueue selects the scheduler's event-queue backend (default
+// sim.QueueAuto: 4-ary heap, migrating to the calendar queue on large
+// pending sets). All backends produce byte-identical results for a
+// given seed; the option exists for benchmarking and for pinning a
+// backend in equivalence tests.
+func WithEventQueue(p sim.QueuePolicy) Option {
+	return func(s *Scenario) { s.queuePolicy = p }
+}
+
+// WithDenseNeighborIndex forces the radio channels to materialize their
+// full neighbor index at construction instead of memoizing rows from
+// the spatial hash on first use (the default). Deliveries and results
+// are identical either way; eager materialization only changes when the
+// work happens and costs O(N + edges) memory up front.
+func WithDenseNeighborIndex(on bool) Option {
+	return func(s *Scenario) { s.denseIndex = on }
+}
+
 // NewScenario assembles and validates a Scenario from its parts. Every
 // default is explicit — the zero Scenario does not exist — and every
 // constraint (topology well-formedness, sink and sender placement,
@@ -310,6 +338,8 @@ func (s *Scenario) build() error {
 		return fmt.Errorf("netsim: negative post-burst linger")
 	case s.wifiRange < 0:
 		return fmt.Errorf("netsim: negative wifi range %v", s.wifiRange)
+	case s.queuePolicy < sim.QueueAuto || s.queuePolicy > sim.QueueCalendar:
+		return fmt.Errorf("netsim: invalid event-queue policy %d", int(s.queuePolicy))
 	}
 	if err := s.workload.validate(); err != nil {
 		return err
@@ -424,6 +454,33 @@ func (s *Scenario) ChurnEvents() []ChurnEvent {
 	out := make([]ChurnEvent, len(s.churnEvents))
 	copy(out, s.churnEvents)
 	return out
+}
+
+// NewScalingScenario builds the canonical big-topology scaling setup
+// used by the scaling benchmark and the large-grid golden fingerprint:
+// the sensor model on a square grid sized to hold nodes with exactly
+// the sensor radio's 40 m spacing (field = 40 m * (side - 1), the same
+// geometry as the paper's 6x6 evaluation grid, extended), near-center
+// sink, CBR senders at the sensor high rate — max(10, nodes/100)
+// senders, capped at nodes-1 — and seed 1. Everything is deterministic
+// in (nodes, duration), so a fixed-seed run fingerprints stably.
+func NewScalingScenario(nodes int, duration time.Duration) (*Scenario, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("netsim: scaling scenario needs at least 2 nodes, got %d", nodes)
+	}
+	side := int(math.Ceil(math.Sqrt(float64(nodes))))
+	field := units.Meters(float64(side-1)) * energy.Micaz().Range
+	senders := max(10, nodes/100)
+	if senders > nodes-1 {
+		senders = nodes - 1
+	}
+	return NewScenario(
+		WithModel(ModelSensor),
+		WithTopology(GridTopology(nodes, field)),
+		WithSenders(senders),
+		WithWorkload(CBRWorkload(params.HighRate)),
+		WithDuration(duration),
+	)
 }
 
 // withSeed returns a shallow copy of the scenario rebuilt with a

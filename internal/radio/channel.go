@@ -3,6 +3,7 @@ package radio
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"time"
 
 	"bulktx/internal/energy"
@@ -26,8 +27,10 @@ type Config struct {
 	LossProb float64
 	// LossAt, when non-nil, replaces LossProb with a per-link loss
 	// probability computed from the transmitter-receiver distance
-	// (e.g. path-loss-shaped noise). Probabilities are evaluated once
-	// per link at channel construction and clamped to [0, 1].
+	// (e.g. path-loss-shaped noise), clamped to [0, 1]. It must be a
+	// pure function of distance: it is evaluated lazily per reception
+	// (never as a dense per-pair table, which would be O(N^2) memory),
+	// so a stateful model would break run determinism.
 	LossAt func(d units.Meters) float64
 	// WakeupLatency is the Off -> usable transition time applied by
 	// PowerOn. Zero means instant.
@@ -35,6 +38,17 @@ type Config struct {
 	// HeaderSize is the technology's frame header; used to charge
 	// header-only overhearing.
 	HeaderSize units.ByteSize
+	// EagerIndex forces the channel to materialize the full neighbor
+	// index at construction (the pre-PR-6 behavior) instead of memoizing
+	// per-node rows on first transmission. Delivered frames and their
+	// order are identical either way; eager costs O(N + edges) memory up
+	// front, lazy costs a spatial-hash query per node actually heard.
+	EagerIndex bool
+	// Pool, when non-nil, supplies the per-run allocator the channel
+	// draws transceivers, neighbor rows and arrival records from; the
+	// caller recycles them all with Pool.Reset once the run is over.
+	// Nil gives the channel a private, never-reset pool.
+	Pool *Pool
 }
 
 func (c Config) validate() error {
@@ -74,29 +88,42 @@ type Stats struct {
 // delay is negligible at the paper's 200 m scale and modelled as zero.
 //
 // Topology is static: node positions come from the layout fixed at
-// NewChannel time, so the in-range neighbor set of every node is
-// precomputed once and each transmission walks a pre-sorted list instead
-// of scanning, filtering and sorting the full node set. If layouts ever
-// become mutable, the neighbor index must be rebuilt on any position
-// change — there is deliberately no invalidation path today.
+// NewChannel time. The per-node in-range neighbor sets are resolved
+// from a uniform-grid spatial hash (topo.SpatialHash, built in O(N))
+// and memoized as sorted rows on first use, so channel construction
+// never materializes an O(N^2) table and each transmission walks a
+// pre-sorted list in ascending-ID (deterministic) order. Config's
+// EagerIndex restores full up-front materialization for callers that
+// touch every node anyway. If layouts ever become mutable, both the
+// hash and the memo must be rebuilt on any position change — there is
+// deliberately no invalidation path today.
 type Channel struct {
 	sched  *sim.Scheduler
 	cfg    Config
 	layout *topo.Layout
+	pool   *Pool
 	// nodes is a dense table indexed by NodeID; nil means not attached.
 	nodes []*Transceiver
-	// neighbors[i] lists the node IDs within range of node i (excluding
-	// i itself), sorted ascending for deterministic delivery order.
+	// hash resolves in-range queries; nil when EagerIndex precomputed
+	// every row.
+	hash *topo.SpatialHash
+	// neighbors[i] memoizes node i's in-range neighbor IDs (excluding
+	// i itself), sorted ascending for deterministic delivery order. nil
+	// means not yet computed; computed-but-empty rows hold the
+	// noNeighbors sentinel so they are not recomputed.
 	neighbors [][]NodeID
-	// pairLoss is the dense per-link loss matrix (src*Len+dst), built
-	// only when cfg.LossAt is set; nil channels use cfg.LossProb.
-	pairLoss []float64
-	stats    Stats
-	rng      *rand.Rand
+	// scratch is the reusable collection buffer for neighbor queries.
+	scratch []NodeID
+	stats   Stats
+	rng     *rand.Rand
 }
 
-// NewChannel builds a channel over the given layout and precomputes its
-// static neighbor index.
+// noNeighbors marks a memoized empty neighbor row (distinct from nil =
+// not yet computed).
+var noNeighbors = []NodeID{}
+
+// NewChannel builds a channel over the given layout. Construction is
+// O(N): the spatial hash is built immediately, neighbor rows on demand.
 func NewChannel(sched *sim.Scheduler, cfg Config, layout *topo.Layout) (*Channel, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -107,68 +134,82 @@ func NewChannel(sched *sim.Scheduler, cfg Config, layout *topo.Layout) (*Channel
 	if cfg.Range == 0 {
 		cfg.Range = cfg.Profile.Range
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = &Pool{}
+	}
 	ch := &Channel{
 		sched:     sched,
 		cfg:       cfg,
 		layout:    layout,
+		pool:      pool,
 		nodes:     make([]*Transceiver, layout.Len()),
-		neighbors: buildNeighborIndex(layout, cfg.Range),
+		neighbors: make([][]NodeID, layout.Len()),
 		rng:       sched.Rand(),
 	}
-	if cfg.LossAt != nil {
-		ch.pairLoss = buildPairLoss(layout, cfg.LossAt)
+	pool.channels = append(pool.channels, ch)
+	if cfg.EagerIndex {
+		ch.buildNeighborIndex()
+	} else {
+		ch.hash = topo.NewSpatialHash(layout, ch.cfg.Range)
 	}
 	return ch, nil
 }
 
-// buildPairLoss evaluates the distance-dependent loss model once per
-// ordered node pair, clamped to [0, 1].
-func buildPairLoss(layout *topo.Layout, lossAt func(units.Meters) float64) []float64 {
-	n := layout.Len()
-	m := make([]float64, n*n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
-			}
-			p := lossAt(topo.Distance(layout.Position(i), layout.Position(j)))
-			if p < 0 {
-				p = 0
-			} else if p > 1 {
-				p = 1
-			}
-			m[i*n+j] = p
-		}
-	}
-	return m
-}
-
 // lossProb returns the noise-loss probability of the src->dst link:
-// the per-link matrix when a distance model is configured, the flat
-// LossProb otherwise.
+// the distance model evaluated on the link length when configured
+// (clamped to [0, 1]), the flat LossProb otherwise.
 func (c *Channel) lossProb(src, dst NodeID) float64 {
-	if c.pairLoss == nil {
+	if c.cfg.LossAt == nil {
 		return c.cfg.LossProb
 	}
-	return c.pairLoss[int(src)*len(c.nodes)+int(dst)]
+	p := c.cfg.LossAt(topo.Distance(c.layout.Position(int(src)), c.layout.Position(int(dst))))
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
 }
 
 // buildNeighborIndex materializes the layout's sorted adjacency lists
-// (topo.Layout.AdjacencyLists) as NodeID slices for the transmit path.
-func buildNeighborIndex(layout *topo.Layout, r units.Meters) [][]NodeID {
-	adj := layout.AdjacencyLists(r)
-	nb := make([][]NodeID, len(adj))
-	for i, ids := range adj {
+// (topo.Layout.AdjacencyLists) as NodeID rows — the EagerIndex path.
+func (c *Channel) buildNeighborIndex() {
+	for i, ids := range c.layout.AdjacencyLists(c.cfg.Range) {
 		if len(ids) == 0 {
+			c.neighbors[i] = noNeighbors
 			continue
 		}
-		out := make([]NodeID, len(ids))
+		out := c.pool.rows.Alloc(len(ids))
 		for k, id := range ids {
 			out[k] = NodeID(id)
 		}
-		nb[i] = out
+		c.neighbors[i] = out
 	}
-	return nb
+}
+
+// neighborsOf returns node id's sorted in-range neighbor row, resolving
+// and memoizing it on first use. The row's contents and order are
+// identical to the eager index's (spatial-hash queries report the exact
+// brute-force set; the sort restores ascending IDs).
+func (c *Channel) neighborsOf(id NodeID) []NodeID {
+	if row := c.neighbors[id]; row != nil {
+		return row
+	}
+	c.scratch = c.scratch[:0]
+	c.hash.EachInRange(int(id), c.cfg.Range, func(j int) {
+		c.scratch = append(c.scratch, NodeID(j))
+	})
+	if len(c.scratch) == 0 {
+		c.neighbors[id] = noNeighbors
+		return noNeighbors
+	}
+	slices.Sort(c.scratch)
+	row := c.pool.rows.Alloc(len(c.scratch))
+	copy(row, c.scratch)
+	c.neighbors[id] = row
+	return row
 }
 
 // Config returns the channel configuration (with resolved range).
@@ -204,24 +245,25 @@ func (c *Channel) InRange(a, b NodeID) bool {
 	return topo.InRange(c.layout.Position(int(a)), c.layout.Position(int(b)), c.cfg.Range)
 }
 
-// Neighbors returns node id's precomputed in-range neighbor IDs, sorted
-// ascending (attached or not). The slice is shared; callers must not
-// mutate it.
+// Neighbors returns node id's in-range neighbor IDs, sorted ascending
+// (attached or not), resolving the row on first use. The slice is
+// shared; callers must not mutate it.
 func (c *Channel) Neighbors(id NodeID) []NodeID {
 	if int(id) < 0 || int(id) >= len(c.neighbors) {
 		return nil
 	}
-	return c.neighbors[id]
+	return c.neighborsOf(id)
 }
 
 // start transmits f from the transceiver, delivering arrivals to every
 // in-range node. Called by Transceiver.Transmit after state checks.
-// The neighbor index makes this a single allocation-free walk in
-// ascending-ID (deterministic) order.
+// The memoized neighbor row makes this a single allocation-free walk
+// in ascending-ID (deterministic) order after the first transmission
+// from a node.
 func (c *Channel) start(f Frame) {
 	c.stats.Transmissions++
 	airtime := c.Airtime(f.Size)
-	for _, id := range c.neighbors[f.Src] {
+	for _, id := range c.neighborsOf(f.Src) {
 		if rx := c.nodes[id]; rx != nil {
 			rx.arrive(f, airtime)
 		}

@@ -60,6 +60,122 @@ func TestNeighborIndexMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestLazyAndEagerIndexIdentical holds the lazily memoized spatial-hash
+// neighbor rows (the default) to the eagerly materialized index's exact
+// output — same IDs, same ascending order — across random, clustered,
+// and degenerate layouts (all co-located, all out of range, N <= 3).
+func TestLazyAndEagerIndexIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	colocated := make([]topo.Position, 12)
+	for i := range colocated {
+		colocated[i] = topo.Position{X: 5, Y: 9}
+	}
+	mk := func(l *topo.Layout, err error) *topo.Layout {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	layouts := map[string]*topo.Layout{
+		"random":    mk(topo.Random(80, 250, rng)),
+		"clustered": mk(topo.Clustered(120, 5, 300, 15, rng)),
+		"colocated": topo.NewLayout(colocated),
+		"sparse":    mk(topo.Random(30, 100000, rng)), // all out of range
+		"pair":      mk(topo.Grid(2, 100)),
+		"triple":    mk(topo.Grid(3, 100)),
+		"single":    mk(topo.Grid(1, 100)),
+	}
+	for name, layout := range layouts {
+		// Range 0 would resolve to the profile default, so the "nobody in
+		// range" case uses a tiny positive range instead.
+		for _, r := range []units.Meters{0.001, 40, 500} {
+			cfg := Config{Name: "lazy", Profile: energy.Micaz(), Range: r}
+			lazy, err := NewChannel(sim.NewScheduler(1), cfg, layout)
+			if err != nil {
+				t.Fatalf("%s: lazy channel: %v", name, err)
+			}
+			cfg.EagerIndex = true
+			eager, err := NewChannel(sim.NewScheduler(1), cfg, layout)
+			if err != nil {
+				t.Fatalf("%s: eager channel: %v", name, err)
+			}
+			for i := 0; i < layout.Len(); i++ {
+				got, want := lazy.Neighbors(NodeID(i)), eager.Neighbors(NodeID(i))
+				if len(got) != len(want) {
+					t.Fatalf("%s r=%v node %d: lazy %v, eager %v", name, cfg.Range, i, got, want)
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("%s r=%v node %d: lazy %v, eager %v", name, cfg.Range, i, got, want)
+					}
+				}
+				// Memoization must return the same row on repeat lookup.
+				if again := lazy.Neighbors(NodeID(i)); len(again) != len(got) {
+					t.Fatalf("%s node %d: memoized row changed size", name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolReuseIsDeterministic runs the same broadcast workload three
+// times out of one shared Pool (reset between runs) and once unpooled,
+// and requires identical channel stats and reception logs every time:
+// recycled transceivers, arrivals and neighbor rows must leave no state
+// behind.
+func TestPoolReuseIsDeterministic(t *testing.T) {
+	run := func(pool *Pool) (Stats, []NodeID) {
+		rng := rand.New(rand.NewSource(5))
+		layout, err := topo.Random(30, 150, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := sim.NewScheduler(1)
+		cfg := Config{Name: "t", Profile: energy.Micaz(), Range: 60, Pool: pool}
+		ch, err := NewChannel(sched, cfg, layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var log []NodeID
+		xcvrs := make([]*Transceiver, layout.Len())
+		for i := range xcvrs {
+			x, err := ch.Attach(NodeID(i), OverhearFull, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := NodeID(i)
+			x.SetOnReceive(func(f Frame) { log = append(log, id) })
+			xcvrs[i] = x
+		}
+		for _, x := range xcvrs {
+			if err := x.Transmit(Frame{Kind: KindData, Dst: Broadcast, Size: 16}); err != nil {
+				t.Fatal(err)
+			}
+			sched.Run()
+		}
+		return ch.Stats(), log
+	}
+
+	wantStats, wantLog := run(nil)
+	pool := &Pool{}
+	for trial := 0; trial < 3; trial++ {
+		gotStats, gotLog := run(pool)
+		if gotStats != wantStats {
+			t.Fatalf("trial %d: stats %+v, want %+v", trial, gotStats, wantStats)
+		}
+		if len(gotLog) != len(wantLog) {
+			t.Fatalf("trial %d: %d receptions, want %d", trial, len(gotLog), len(wantLog))
+		}
+		for i := range wantLog {
+			if gotLog[i] != wantLog[i] {
+				t.Fatalf("trial %d: reception %d by %d, want %d", trial, i, gotLog[i], wantLog[i])
+			}
+		}
+		pool.Reset()
+	}
+}
+
 // TestBroadcastReachesExactlyNeighborSet transmits from every node of a
 // random layout and checks that exactly the attached in-range nodes hear
 // the frame.

@@ -1,0 +1,75 @@
+package radio
+
+import "bulktx/internal/mempool"
+
+// Pool recycles the per-run allocations of radio models so repeated
+// simulations (parameter sweeps, RunMany replicas) stop churning the
+// garbage collector: transceiver structs, memoized neighbor rows, and
+// arrival records are all drawn from the pool and reclaimed wholesale
+// by Reset between runs.
+//
+// A pool is single-run-at-a-time: channels built with it (via
+// Config.Pool) register themselves, and Reset walks the registered
+// channels to harvest still-checked-out arrivals before rewinding the
+// allocators. Reset must only be called once the run owning the
+// channels is finished and none of its objects (other than energy
+// meters, which are always individually heap-allocated) are referenced.
+// A nil Config.Pool gives every channel a private pool, which is never
+// reset — exactly the old allocation behavior.
+//
+// Like the rest of the engine a Pool is not safe for concurrent use;
+// sweep workers each own one.
+type Pool struct {
+	xcvrs    mempool.Slab[Transceiver]
+	rows     mempool.Arena[NodeID]
+	arrivals []*arrival
+	channels []*Channel
+}
+
+// getArrival hands out a recycled arrival (or mints one with its finish
+// closure bound) with a.t set to the checking-out transceiver.
+func (p *Pool) getArrival(t *Transceiver) *arrival {
+	var a *arrival
+	if n := len(p.arrivals); n > 0 {
+		a = p.arrivals[n-1]
+		p.arrivals = p.arrivals[:n-1]
+	} else {
+		a = &arrival{}
+		a.fin = func() { a.t.finishArrival(a) }
+	}
+	a.t = t
+	return a
+}
+
+// putArrival clears an arrival and returns it to the free list.
+func (p *Pool) putArrival(a *arrival) {
+	a.t = nil
+	a.frame = Frame{}
+	a.forMe, a.chargeRx, a.corrupt, a.aborted = false, false, false, false
+	p.arrivals = append(p.arrivals, a)
+}
+
+// Reset reclaims everything handed out since the previous reset:
+// in-flight arrivals are harvested from the registered channels'
+// transceivers, the channel registry is dropped, and the transceiver
+// slab and neighbor-row arena rewind (zeroing recycled memory, so the
+// next run starts from the same clean state as a fresh allocation).
+// Each harvested channel's pool reference is severed, so accidental
+// use of a stale channel after Reset fails loudly (nil dereference)
+// instead of silently corrupting the next run's memory.
+func (p *Pool) Reset() {
+	for _, c := range p.channels {
+		for _, t := range c.nodes {
+			if t == nil {
+				continue
+			}
+			for _, a := range t.arrivals {
+				p.putArrival(a)
+			}
+		}
+		c.pool = nil
+	}
+	p.channels = p.channels[:0]
+	p.xcvrs.Reset()
+	p.rows.Reset()
+}

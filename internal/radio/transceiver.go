@@ -37,11 +37,14 @@ var (
 )
 
 // arrival tracks one incoming frame at a receiver. Arrivals are pooled
-// per transceiver: each carries a finish closure bound once at first
-// allocation, so steady-state reception neither allocates the struct
-// nor a new completion callback.
+// at the channel's Pool: each carries a finish closure bound once at
+// first allocation (dispatching through the t field, which is set at
+// checkout), so steady-state reception neither allocates the struct
+// nor a new completion callback, and Pool.Reset recycles arrivals
+// across entire runs.
 type arrival struct {
-	fin      func() // bound once: finishArrival(this)
+	fin      func() // bound once: t.finishArrival(this)
+	t        *Transceiver
 	frame    Frame
 	forMe    bool
 	chargeRx bool
@@ -64,7 +67,6 @@ type Transceiver struct {
 	resumeWake   bool
 	transmitting bool
 	arrivals     []*arrival
-	arrivalPool  []*arrival
 	lastBusyEnd  sim.Time
 
 	// txFrame is the frame currently on the air; finishTxFn completes it.
@@ -93,12 +95,14 @@ func (c *Channel) Attach(id NodeID, overhear OverhearPolicy, startOn bool) (*Tra
 	if c.nodes[id] != nil {
 		return nil, fmt.Errorf("%w: node %d on channel %q", ErrAlreadyAttached, id, c.cfg.Name)
 	}
-	t := &Transceiver{
-		ch:       c,
-		id:       id,
-		meter:    energy.NewMeter(c.cfg.Profile, c.sched.Now),
-		overhear: overhear,
-	}
+	// Transceivers come from the pool's slab (zeroed, stable address);
+	// meters stay individually heap-allocated because debug probes hand
+	// them out past the run's lifetime.
+	t := c.pool.xcvrs.Get()
+	t.ch = c
+	t.id = id
+	t.meter = energy.NewMeter(c.cfg.Profile, c.sched.Now)
+	t.overhear = overhear
 	t.wakeTimer.Init(c.sched, t.completeWake)
 	t.finishTxFn = t.finishTx
 	if startOn {
@@ -316,25 +320,17 @@ func (t *Transceiver) arrive(f Frame, airtime sim.Time) {
 	t.ch.sched.After(airtime, a.fin)
 }
 
-// newArrival reuses a pooled arrival or mints one with its finish
-// closure bound. Arrivals return to the pool in finishArrival, which
-// runs exactly once per arrival (aborted ones included).
+// newArrival checks an arrival out of the channel's pool, bound to
+// this transceiver. Arrivals return to the pool in finishArrival, which
+// runs exactly once per arrival (aborted ones included), or via
+// Pool.Reset for arrivals still in flight at end of run.
 func (t *Transceiver) newArrival() *arrival {
-	if n := len(t.arrivalPool); n > 0 {
-		a := t.arrivalPool[n-1]
-		t.arrivalPool = t.arrivalPool[:n-1]
-		return a
-	}
-	a := &arrival{}
-	a.fin = func() { t.finishArrival(a) }
-	return a
+	return t.ch.pool.getArrival(t)
 }
 
 // freeArrival clears and pools an arrival for reuse.
 func (t *Transceiver) freeArrival(a *arrival) {
-	a.frame = Frame{}
-	a.forMe, a.chargeRx, a.corrupt, a.aborted = false, false, false, false
-	t.arrivalPool = append(t.arrivalPool, a)
+	t.ch.pool.putArrival(a)
 }
 
 func (t *Transceiver) finishArrival(a *arrival) {

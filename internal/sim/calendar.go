@@ -1,0 +1,275 @@
+package sim
+
+// This file implements the scheduler's calendar-queue (time-bucket)
+// backend. The 4-ary heap's O(log n) push/pop degrades once the pending
+// set reaches tens of thousands of events (100k-node topologies); a
+// calendar queue buckets events by timestamp so both operations are
+// O(1) amortized when the bucket width tracks the mean event gap.
+//
+// The backend is exact, not approximate: extraction always yields the
+// global (time, seq) minimum, so the executed-event order is identical
+// to the heap's, tie-breaking included. The fingerprint and equivalence
+// tests enforce this bit-for-bit.
+//
+// # Invariants
+//
+//   - width is a positive number of nanoseconds; an event at time at
+//     belongs to absolute window at/width and hashes to ring position
+//     (at/width) & mask.
+//   - cur is the absolute index of the search window. No live event
+//     inhabits a window before cur: Schedule rewinds cur when pushing
+//     an earlier event, and the scan only advances cur past windows it
+//     has verified hold no live current-window entries. Cancelled
+//     debris may linger anywhere; scans prune it on contact (and
+//     compact() sweeps it wholesale, same policy as the heap).
+//   - Entries sharing a ring position but belonging to a later year
+//     (at/width > cur) are skipped by the window scan; after a full
+//     fruitless lap the scan falls back to a direct minimum search and
+//     jumps cur to the winner's window, bounding a pop at O(buckets).
+type calendar struct {
+	buckets [][]event
+	width   int64 // bucket span in virtual nanoseconds, >= 1
+	mask    int   // len(buckets) - 1 (bucket count is a power of two)
+	cur     int64 // absolute index (at/width) of the search window
+	n       int   // entries stored, live + cancelled debris
+}
+
+// Calendar sizing constants: bucket counts stay within
+// [minCalendarBuckets, maxCalendarBuckets] and rebuilds aim for a load
+// factor between growth (n > 2*buckets) and shrink (n < buckets/8).
+const (
+	minCalendarBuckets = 64
+	maxCalendarBuckets = 1 << 20
+	// defaultCalendarWidth is the initial bucket span before the first
+	// rebuild measures the real event-time distribution: 1 ms suits
+	// MAC-timescale workloads and is corrected by the first resize.
+	defaultCalendarWidth = int64(1e6)
+)
+
+// calPush inserts an entry, rewinding the search window if the entry
+// precedes it and growing the ring when the load factor demands.
+func (s *Scheduler) calPush(e event) {
+	c := s.cal
+	abs := int64(e.at) / c.width
+	if abs < c.cur {
+		c.cur = abs
+	}
+	c.buckets[int(abs)&c.mask] = append(c.buckets[int(abs)&c.mask], e)
+	c.n++
+	if c.n > 2*len(c.buckets) && len(c.buckets) < maxCalendarBuckets {
+		s.calRebuild(2 * len(c.buckets))
+	}
+}
+
+// calScanWindow scans one ring bucket for the (at, seq) minimum among
+// live entries belonging to absolute window abs, pruning cancelled
+// debris of any window on contact. It returns the entry index within
+// the bucket, or -1. Pruning swap-removes from the tail, so an already
+// chosen best index (always < the scan index) stays valid.
+func (s *Scheduler) calScanWindow(abs int64) int {
+	c := s.cal
+	bkt := c.buckets[int(abs)&c.mask]
+	best := -1
+	j := 0
+	for j < len(bkt) {
+		e := bkt[j]
+		if s.slots[e.slot].seq != e.seq {
+			bkt[j] = bkt[len(bkt)-1]
+			bkt = bkt[:len(bkt)-1]
+			s.dead--
+			c.n--
+			continue
+		}
+		if int64(e.at)/c.width == abs && (best < 0 || e.before(bkt[best])) {
+			best = j
+		}
+		j++
+	}
+	c.buckets[int(abs)&c.mask] = bkt
+	return best
+}
+
+// calFind locates the live minimum entry, advancing the search window
+// and pruning cancelled debris along the way. It returns the bucket and
+// entry index, or ok=false when nothing live remains.
+func (s *Scheduler) calFind() (bucket, idx int, ok bool) {
+	c := s.cal
+	if c.n == 0 {
+		return 0, 0, false
+	}
+	// One lap over the ring starting at the current window: the first
+	// window with a live entry holds the global minimum, because every
+	// earlier window is empty of live entries (invariant) and every
+	// entry in a later ring position of this lap belongs to a window
+	// >= its position's.
+	for lap := 0; lap <= c.mask; lap++ {
+		if j := s.calScanWindow(c.cur); j >= 0 {
+			return int(c.cur) & c.mask, j, true
+		}
+		if c.n == 0 {
+			return 0, 0, false
+		}
+		c.cur++
+	}
+	// A full lap found nothing: the next event is more than a ring
+	// revolution away. Search all buckets directly for the minimum and
+	// jump the window to it.
+	found := false
+	var be event
+	for bi := range c.buckets {
+		bkt := c.buckets[bi]
+		j := 0
+		for j < len(bkt) {
+			e := bkt[j]
+			if s.slots[e.slot].seq != e.seq {
+				bkt[j] = bkt[len(bkt)-1]
+				bkt = bkt[:len(bkt)-1]
+				s.dead--
+				c.n--
+				continue
+			}
+			if !found || e.before(be) {
+				found, be = true, e
+			}
+			j++
+		}
+		c.buckets[bi] = bkt
+	}
+	if !found {
+		return 0, 0, false
+	}
+	c.cur = int64(be.at) / c.width
+	j := s.calScanWindow(c.cur) // guaranteed hit: be lives in this window
+	return int(c.cur) & c.mask, j, true
+}
+
+// calPop removes and returns the live minimum entry.
+func (s *Scheduler) calPop() (event, bool) {
+	bi, j, ok := s.calFind()
+	if !ok {
+		return event{}, false
+	}
+	c := s.cal
+	bkt := c.buckets[bi]
+	e := bkt[j]
+	bkt[j] = bkt[len(bkt)-1]
+	c.buckets[bi] = bkt[:len(bkt)-1]
+	c.n--
+	if len(c.buckets) > minCalendarBuckets && c.n < len(c.buckets)/8 {
+		s.calRebuild(len(c.buckets) / 2)
+	}
+	return e, true
+}
+
+// calPeek returns the timestamp of the live minimum without removing
+// it. Like the heap's peek it may prune cancelled debris as a side
+// effect; it never perturbs live ordering.
+func (s *Scheduler) calPeek() (Time, bool) {
+	bi, j, ok := s.calFind()
+	if !ok {
+		return 0, false
+	}
+	return s.cal.buckets[bi][j].at, true
+}
+
+// calCompact sweeps all cancelled debris out of the buckets — the
+// calendar branch of the heap's compact().
+func (s *Scheduler) calCompact() {
+	c := s.cal
+	for bi := range c.buckets {
+		bkt := c.buckets[bi]
+		j := 0
+		for j < len(bkt) {
+			e := bkt[j]
+			if s.slots[e.slot].seq != e.seq {
+				bkt[j] = bkt[len(bkt)-1]
+				bkt = bkt[:len(bkt)-1]
+				c.n--
+				continue
+			}
+			j++
+		}
+		c.buckets[bi] = bkt
+	}
+	s.dead = 0
+}
+
+// calRebuild resizes the ring to nb buckets (clamped to the bucket
+// bounds), re-deriving the bucket width from the live entries' actual
+// time span so the load factor and width track the workload. All
+// cancelled debris is dropped in the process. Rebuild triggers depend
+// only on deterministic counters, so rebuilds happen at identical
+// points in identical runs.
+func (s *Scheduler) calRebuild(nb int) {
+	c := s.cal
+	nb = max(minCalendarBuckets, min(nb, maxCalendarBuckets))
+	live := make([]event, 0, c.n)
+	for _, bkt := range c.buckets {
+		for _, e := range bkt {
+			if s.slots[e.slot].seq == e.seq {
+				live = append(live, e)
+			}
+		}
+	}
+	s.dead = 0
+	s.calInit(nb, live)
+}
+
+// calInit (re)builds the calendar from a live entry set: width from the
+// entries' mean gap (falling back to the previous width, or the
+// default, for degenerate spans), the window anchored at the earliest
+// entry, then all entries re-inserted.
+func (s *Scheduler) calInit(nb int, live []event) {
+	prev := defaultCalendarWidth
+	if s.cal != nil {
+		prev = s.cal.width
+	}
+	width := prev
+	if len(live) > 1 {
+		mn, mx := live[0].at, live[0].at
+		for _, e := range live[1:] {
+			mn = min(mn, e.at)
+			mx = max(mx, e.at)
+		}
+		if span := int64(mx - mn); span > 0 {
+			width = max(1, span/int64(len(live)))
+		}
+	}
+	c := &calendar{
+		buckets: make([][]event, nb),
+		width:   width,
+		mask:    nb - 1,
+		cur:     int64(s.now) / width,
+	}
+	for _, e := range live {
+		abs := int64(e.at) / width
+		if abs < c.cur {
+			c.cur = abs
+		}
+		c.buckets[int(abs)&c.mask] = append(c.buckets[int(abs)&c.mask], e)
+	}
+	c.n = len(live)
+	s.cal = c
+}
+
+// migrateToCalendar switches a heap-backed scheduler to the calendar
+// backend, carrying the live pending set over and dropping cancelled
+// debris. The switch is one-way: large pending sets that later shrink
+// keep the calendar (whose ring shrinks with them), avoiding
+// back-and-forth thrash around the threshold. Ordering is unaffected —
+// both backends extract the exact (time, seq) minimum.
+func (s *Scheduler) migrateToCalendar() {
+	live := make([]event, 0, s.live)
+	for _, e := range s.queue {
+		if s.slots[e.slot].seq == e.seq {
+			live = append(live, e)
+		}
+	}
+	s.dead = 0
+	s.queue = nil
+	nb := minCalendarBuckets
+	for nb < len(live) && nb < maxCalendarBuckets {
+		nb *= 2
+	}
+	s.calInit(nb, live)
+}

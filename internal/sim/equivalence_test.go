@@ -60,72 +60,103 @@ func (r *refScheduler) step() bool {
 	return true
 }
 
+// queuePolicies names every backend policy; the equivalence tests run
+// their full scripts once per policy so the heap, the calendar, and the
+// auto-migrating hybrid are all held to the reference semantics.
+var queuePolicies = map[string]QueuePolicy{
+	"auto":     QueueAuto,
+	"heap":     QueueHeap,
+	"calendar": QueueCalendar,
+}
+
 // TestSchedulerEquivalence drives the real scheduler and the reference
-// with an identical random script of Schedule/Cancel/Step ops and
+// with an identical random script of Schedule/Cancel/Reset/Step ops and
 // asserts identical execution order, clock, pending count, and processed
-// count throughout. Colliding timestamps are frequent by construction
-// (50 distinct delays across hundreds of events) so the (time, seq)
-// tie-break is exercised hard.
+// count throughout, for every queue backend policy. Colliding timestamps
+// are frequent by construction (50 distinct delays across hundreds of
+// events) so the (time, seq) tie-break is exercised hard; the reset op
+// (cancel + reschedule, one sequence number on each side) mirrors
+// Timer.Reset's churn, the workload that generates cancelled debris.
 func TestSchedulerEquivalence(t *testing.T) {
-	for trial := 0; trial < 25; trial++ {
-		rng := rand.New(rand.NewSource(int64(1000 + trial)))
-		s := NewScheduler(1)
-		ref := &refScheduler{}
-		var gotLog, wantLog []int
-		// Parallel handle tables: script slot -> per-scheduler ID.
-		var simIDs []EventID
-		var refIDs []uint64
+	for name, policy := range queuePolicies {
+		t.Run(name, func(t *testing.T) {
+			for trial := 0; trial < 25; trial++ {
+				rng := rand.New(rand.NewSource(int64(1000 + trial)))
+				s := NewSchedulerPolicy(1, policy)
+				ref := &refScheduler{}
+				var gotLog, wantLog []int
+				// Parallel handle tables: script slot -> per-scheduler ID.
+				var simIDs []EventID
+				var refIDs []uint64
 
-		ops := 300 + rng.Intn(300)
-		for op := 0; op < ops; op++ {
-			switch k := rng.Intn(10); {
-			case k < 6: // schedule
-				l := len(simIDs)
-				d := time.Duration(rng.Intn(50)) * time.Millisecond
-				simIDs = append(simIDs, s.After(d, func() { gotLog = append(gotLog, l) }))
-				refIDs = append(refIDs, ref.schedule(d, func() { wantLog = append(wantLog, l) }))
-			case k < 8: // cancel a random script slot (possibly already dead)
-				if len(simIDs) == 0 {
-					continue
+				ops := 300 + rng.Intn(300)
+				for op := 0; op < ops; op++ {
+					switch k := rng.Intn(12); {
+					case k < 6: // schedule
+						l := len(simIDs)
+						d := time.Duration(rng.Intn(50)) * time.Millisecond
+						simIDs = append(simIDs, s.After(d, func() { gotLog = append(gotLog, l) }))
+						refIDs = append(refIDs, ref.schedule(d, func() { wantLog = append(wantLog, l) }))
+					case k < 8: // cancel a random script slot (possibly already dead)
+						if len(simIDs) == 0 {
+							continue
+						}
+						i := rng.Intn(len(simIDs))
+						g := s.Cancel(simIDs[i])
+						w := ref.cancel(refIDs[i])
+						if g != w {
+							t.Fatalf("trial %d op %d: Cancel(slot %d) = %v, reference says %v", trial, op, i, g, w)
+						}
+					case k < 10: // reset: cancel + reschedule under the same script slot
+						if len(simIDs) == 0 {
+							continue
+						}
+						i := rng.Intn(len(simIDs))
+						d := time.Duration(rng.Intn(50)) * time.Millisecond
+						g := s.Cancel(simIDs[i])
+						w := ref.cancel(refIDs[i])
+						if g != w {
+							t.Fatalf("trial %d op %d: reset-cancel(slot %d) = %v, reference says %v", trial, op, i, g, w)
+						}
+						if g {
+							i := i
+							simIDs[i] = s.After(d, func() { gotLog = append(gotLog, i) })
+							refIDs[i] = ref.schedule(d, func() { wantLog = append(wantLog, i) })
+						}
+					default: // step
+						g := s.Step()
+						w := ref.step()
+						if g != w {
+							t.Fatalf("trial %d op %d: Step() = %v, reference says %v", trial, op, g, w)
+						}
+					}
+					if s.Pending() != len(ref.pending) {
+						t.Fatalf("trial %d op %d: Pending() = %d, reference has %d",
+							trial, op, s.Pending(), len(ref.pending))
+					}
 				}
-				i := rng.Intn(len(simIDs))
-				g := s.Cancel(simIDs[i])
-				w := ref.cancel(refIDs[i])
-				if g != w {
-					t.Fatalf("trial %d op %d: Cancel(slot %d) = %v, reference says %v", trial, op, i, g, w)
+				for s.Step() {
 				}
-			default: // step
-				g := s.Step()
-				w := ref.step()
-				if g != w {
-					t.Fatalf("trial %d op %d: Step() = %v, reference says %v", trial, op, g, w)
+				for ref.step() {
 				}
-			}
-			if s.Pending() != len(ref.pending) {
-				t.Fatalf("trial %d op %d: Pending() = %d, reference has %d",
-					trial, op, s.Pending(), len(ref.pending))
-			}
-		}
-		for s.Step() {
-		}
-		for ref.step() {
-		}
 
-		if len(gotLog) != len(wantLog) {
-			t.Fatalf("trial %d: executed %d events, reference %d", trial, len(gotLog), len(wantLog))
-		}
-		for i := range wantLog {
-			if gotLog[i] != wantLog[i] {
-				t.Fatalf("trial %d: execution order diverges at index %d: got %d, want %d",
-					trial, i, gotLog[i], wantLog[i])
+				if len(gotLog) != len(wantLog) {
+					t.Fatalf("trial %d: executed %d events, reference %d", trial, len(gotLog), len(wantLog))
+				}
+				for i := range wantLog {
+					if gotLog[i] != wantLog[i] {
+						t.Fatalf("trial %d: execution order diverges at index %d: got %d, want %d",
+							trial, i, gotLog[i], wantLog[i])
+					}
+				}
+				if s.Now() != ref.now {
+					t.Fatalf("trial %d: clock %v, reference %v", trial, s.Now(), ref.now)
+				}
+				if s.Processed != ref.processed {
+					t.Fatalf("trial %d: Processed %d, reference %d", trial, s.Processed, ref.processed)
+				}
 			}
-		}
-		if s.Now() != ref.now {
-			t.Fatalf("trial %d: clock %v, reference %v", trial, s.Now(), ref.now)
-		}
-		if s.Processed != ref.processed {
-			t.Fatalf("trial %d: Processed %d, reference %d", trial, s.Processed, ref.processed)
-		}
+		})
 	}
 }
 
@@ -136,9 +167,15 @@ func TestSchedulerEquivalence(t *testing.T) {
 // earlier. Both sides derive children independently, so any divergence
 // in execution order cascades into a visible log mismatch.
 func TestSchedulerEquivalenceNested(t *testing.T) {
+	for name, policy := range queuePolicies {
+		t.Run(name, func(t *testing.T) { testEquivalenceNested(t, policy) })
+	}
+}
+
+func testEquivalenceNested(t *testing.T, policy QueuePolicy) {
 	for trial := 0; trial < 10; trial++ {
 		rng := rand.New(rand.NewSource(int64(7000 + trial)))
-		s := NewScheduler(1)
+		s := NewSchedulerPolicy(1, policy)
 		ref := &refScheduler{}
 		var gotLog, wantLog []int
 

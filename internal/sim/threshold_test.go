@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestAutoMigrationPreservesOrder drives a QueueAuto scheduler across
+// the heap-to-calendar switch mid-run — growing the pending set well
+// past CalendarThreshold, then draining it — alongside a QueueHeap twin
+// fed the identical script, and requires identical execution logs,
+// clocks, and Pending() counts at every step. This is the regression
+// guard for the migration itself: crossing the threshold must never
+// reorder events, including (time, seq) ties straddling the switch.
+func TestAutoMigrationPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	auto := NewSchedulerPolicy(1, QueueAuto)
+	heap := NewSchedulerPolicy(1, QueueHeap)
+	var gotLog, wantLog []int
+
+	n := CalendarThreshold + CalendarThreshold/2
+	autoIDs := make([]EventID, n)
+	heapIDs := make([]EventID, n)
+	for i := 0; i < n; i++ {
+		i := i
+		// 200 distinct delays over thousands of events: tie-heavy, and
+		// ties planted on both sides of the migration point.
+		d := time.Duration(rng.Intn(200)) * time.Millisecond
+		autoIDs[i] = auto.After(d, func() { gotLog = append(gotLog, i) })
+		heapIDs[i] = heap.After(d, func() { wantLog = append(wantLog, i) })
+	}
+	if auto.cal == nil {
+		t.Fatalf("auto scheduler did not migrate: %d live events > threshold %d",
+			auto.Pending(), CalendarThreshold)
+	}
+	if heap.cal != nil {
+		t.Fatal("QueueHeap scheduler migrated to the calendar")
+	}
+	// Cancel a deterministic slice of handles issued before the
+	// migration: their heap entries became calendar entries, and their
+	// IDs must still validate.
+	for i := 0; i < n; i += 7 {
+		g, w := auto.Cancel(autoIDs[i]), heap.Cancel(heapIDs[i])
+		if !g || !w {
+			t.Fatalf("cancel %d: auto=%v heap=%v, want both true", i, g, w)
+		}
+	}
+	for step := 0; ; step++ {
+		if ap, hp := auto.Pending(), heap.Pending(); ap != hp {
+			t.Fatalf("step %d: Pending() auto=%d heap=%d", step, ap, hp)
+		}
+		g, w := auto.Step(), heap.Step()
+		if g != w {
+			t.Fatalf("step %d: Step() auto=%v heap=%v", step, g, w)
+		}
+		if !g {
+			break
+		}
+		if auto.Now() != heap.Now() {
+			t.Fatalf("step %d: clock auto=%v heap=%v", step, auto.Now(), heap.Now())
+		}
+	}
+	if len(gotLog) != len(wantLog) {
+		t.Fatalf("auto executed %d events, heap %d", len(gotLog), len(wantLog))
+	}
+	for i := range wantLog {
+		if gotLog[i] != wantLog[i] {
+			t.Fatalf("execution order diverges at %d: auto ran %d, heap ran %d",
+				i, gotLog[i], wantLog[i])
+		}
+	}
+	if auto.Processed != heap.Processed {
+		t.Fatalf("Processed: auto=%d heap=%d", auto.Processed, heap.Processed)
+	}
+}
+
+// TestAutoMigrationExactlyAtThreshold pins the switch point: the
+// scheduler stays on the heap at exactly CalendarThreshold live events
+// and migrates on the next Schedule, with Pending() unperturbed.
+func TestAutoMigrationExactlyAtThreshold(t *testing.T) {
+	s := NewScheduler(1)
+	for i := 0; i < CalendarThreshold; i++ {
+		s.After(time.Duration(i)*time.Microsecond, func() {})
+	}
+	if s.cal != nil {
+		t.Fatalf("migrated at %d live events; threshold is exclusive", CalendarThreshold)
+	}
+	if s.Pending() != CalendarThreshold {
+		t.Fatalf("Pending() = %d, want %d", s.Pending(), CalendarThreshold)
+	}
+	s.After(time.Second, func() {})
+	if s.cal == nil {
+		t.Fatalf("did not migrate at %d live events", CalendarThreshold+1)
+	}
+	if s.Pending() != CalendarThreshold+1 {
+		t.Fatalf("Pending() = %d after migration, want %d", s.Pending(), CalendarThreshold+1)
+	}
+}
+
+// TestCalendarCompaction exercises the reset-heavy workload that the
+// compaction path exists for, on the calendar backend: timers that are
+// cancelled and rescheduled far more often than they fire. The debris
+// counter must return to zero via compaction sweeps, Pending() must
+// track only live events throughout, and the surviving events must all
+// run.
+func TestCalendarCompaction(t *testing.T) {
+	s := NewSchedulerPolicy(1, QueueCalendar)
+	fired := 0
+	const keep = 100
+	for i := 0; i < keep; i++ {
+		s.After(time.Duration(i+1)*time.Second, func() { fired++ })
+	}
+	// Churn: schedule and immediately cancel thousands of timers.
+	for i := 0; i < 5000; i++ {
+		id := s.After(time.Duration(i%50)*time.Millisecond, func() { fired += 1000 })
+		if !s.Cancel(id) {
+			t.Fatalf("churn cancel %d failed", i)
+		}
+		if s.Pending() != keep {
+			t.Fatalf("churn %d: Pending() = %d, want %d", i, s.Pending(), keep)
+		}
+	}
+	if s.dead > compactMinDead && s.dead > s.cal.n/2 {
+		t.Fatalf("compaction never triggered: %d dead of %d stored", s.dead, s.cal.n)
+	}
+	s.Run()
+	if fired != keep {
+		t.Fatalf("fired = %d, want %d (cancelled timers must not run)", fired, keep)
+	}
+	if s.Pending() != 0 || s.dead != 0 {
+		t.Fatalf("after drain: Pending()=%d dead=%d, want 0/0", s.Pending(), s.dead)
+	}
+}
+
+// TestCalendarSparseJump covers the fallback search: after a fruitless
+// lap (the next event is many ring revolutions away), the scan must
+// jump directly to the true minimum rather than walking empty windows.
+func TestCalendarSparseJump(t *testing.T) {
+	s := NewSchedulerPolicy(1, QueueCalendar)
+	var order []int
+	// Events separated by enormous gaps relative to any bucket width.
+	for i, d := range []time.Duration{
+		100 * 365 * 24 * time.Hour,
+		time.Nanosecond,
+		50 * 365 * 24 * time.Hour,
+		time.Millisecond,
+	} {
+		i := i
+		s.After(d, func() { order = append(order, i) })
+	}
+	s.Run()
+	want := []int{1, 3, 2, 0}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d (full order %v)", i, order[i], want[i], order)
+		}
+	}
+}

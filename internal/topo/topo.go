@@ -186,11 +186,13 @@ func (l *Layout) Neighbors(i int, r units.Meters) []int {
 
 // Adjacency returns, for every node, the indices of its in-range
 // neighbors (excluding itself) in ascending order, together with the
-// corresponding link distances. Each unordered pair is measured once;
-// appending j>i during pass i and i<j during pass j leaves every
-// per-node list sorted without an explicit sort. It is the shared
-// O(N^2) geometry pass behind the radio channel's neighbor index and
-// the routing layer's repeated BFS traversals.
+// corresponding link distances. It is the shared geometry pass behind
+// the routing layer's tree construction. Small layouts use a pairwise
+// O(N^2) scan (each unordered pair measured once; appending j>i during
+// pass i and i<j during pass j leaves every per-node list sorted
+// without an explicit sort); layouts above the spatial-hash threshold
+// are built from a uniform-grid index in O(N + edges) with identical
+// output.
 func (l *Layout) Adjacency(r units.Meters) (nb [][]int, dist [][]units.Meters) {
 	return l.adjacency(r, true)
 }
@@ -204,6 +206,13 @@ func (l *Layout) AdjacencyLists(r units.Meters) [][]int {
 
 func (l *Layout) adjacency(r units.Meters, withDist bool) (nb [][]int, dist [][]units.Meters) {
 	n := len(l.positions)
+	if n > spatialThreshold {
+		// Large layouts go through the spatial hash: O(N) grid build plus
+		// per-node window queries instead of the O(N^2) pairwise pass.
+		// The output contract is identical (ascending lists, aligned
+		// distances); spatial_test.go holds both paths to the same bytes.
+		return l.hashAdjacency(r, withDist)
+	}
 	nb = make([][]int, n)
 	if withDist {
 		dist = make([][]units.Meters, n)
@@ -246,6 +255,7 @@ func (l *Layout) Connected(root int, r units.Meters) bool {
 	if root < 0 || root >= len(l.positions) {
 		return false
 	}
+	each := l.eachNeighborFn(r)
 	seen := make([]bool, len(l.positions))
 	queue := []int{root}
 	seen[root] = true
@@ -253,7 +263,7 @@ func (l *Layout) Connected(root int, r units.Meters) bool {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		l.EachNeighbor(cur, r, func(nb int) {
+		each(cur, func(nb int) {
 			if !seen[nb] {
 				seen[nb] = true
 				count++
@@ -275,11 +285,12 @@ func (l *Layout) HopCounts(root int, r units.Meters) []int {
 		return hops
 	}
 	hops[root] = 0
+	each := l.eachNeighborFn(r)
 	queue := []int{root}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		l.EachNeighbor(cur, r, func(nb int) {
+		each(cur, func(nb int) {
 			if hops[nb] == -1 {
 				hops[nb] = hops[cur] + 1
 				queue = append(queue, nb)
